@@ -1,0 +1,285 @@
+// Command hypar plans and simulates hybrid-parallel DNN training on an
+// accelerator array, and regenerates every table and figure of the
+// HyPar paper's evaluation.
+//
+// Usage:
+//
+//	hypar -experiment fig6                # regenerate one figure
+//	hypar -experiment all                 # regenerate everything
+//	hypar -model VGG-A -strategy hypar    # plan + simulate one network
+//	hypar -model AlexNet -plan            # print the partition only
+//	hypar -experiment fig8 -csv           # emit CSV instead of a table
+//
+// Flags -batch, -levels, -topology, -link override the paper defaults
+// (256, 4, htree, 1600 Mb/s).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	hypar "repro"
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hypar:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags and dispatches; split from main for testing.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("hypar", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		experiment = fs.String("experiment", "", "regenerate a paper artifact: fig5..fig13, ablations, all")
+		model      = fs.String("model", "", "zoo model to plan/simulate (e.g. VGG-A); see -list")
+		strategy   = fs.String("strategy", "hypar", "hypar | dp | mp | trick")
+		planOnly   = fs.Bool("plan", false, "print the partition without simulating")
+		list       = fs.Bool("list", false, "list zoo models")
+		csv        = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		batch      = fs.Int("batch", 256, "mini-batch size")
+		levels     = fs.Int("levels", 4, "hierarchy depth H (2^H accelerators)")
+		topology   = fs.String("topology", "htree", "htree | torus | ideal")
+		link       = fs.Float64("link", 1600, "NoC link bandwidth, Mb/s")
+		overlap    = fs.Bool("overlap", false, "overlap gradient communication (ablation)")
+		traceFile  = fs.String("trace", "", "write a Chrome trace of the simulated step to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := hypar.Config{
+		Batch: *batch, Levels: *levels, Topology: *topology,
+		LinkMbps: *link, OverlapGradComm: *overlap,
+	}
+	emit := func(t *report.Table) error {
+		if *csv {
+			return t.WriteCSV(w)
+		}
+		if err := t.WriteText(w); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+
+	switch {
+	case *list:
+		for _, m := range hypar.Zoo() {
+			fmt.Fprintf(w, "%-10s %2d weighted layers, input %dx%dx%d\n",
+				m.Name, m.NumWeighted(), m.Input.H, m.Input.W, m.Input.C)
+		}
+		return nil
+	case *experiment != "":
+		return runExperiments(strings.ToLower(*experiment), cfg, emit)
+	case *model != "":
+		return runModel(*model, *strategy, *planOnly, *traceFile, cfg, emit, w)
+	default:
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -experiment, -model or -list")
+	}
+}
+
+// runModel plans (and unless planOnly, simulates) one network.
+func runModel(name, strategyName string, planOnly bool, traceFile string, cfg hypar.Config,
+	emit func(*report.Table) error, w io.Writer) error {
+	m, err := hypar.ModelByName(name)
+	if err != nil {
+		return err
+	}
+	var strat hypar.Strategy
+	switch strings.ToLower(strategyName) {
+	case "hypar":
+		strat = hypar.HyPar
+	case "dp", "dataparallel":
+		strat = hypar.DataParallel
+	case "mp", "modelparallel":
+		strat = hypar.ModelParallel
+	case "trick", "oneweirdtrick":
+		strat = hypar.OneWeirdTrick
+	default:
+		return fmt.Errorf("unknown strategy %q (hypar, dp, mp, trick)", strategyName)
+	}
+
+	plan, err := hypar.NewPlan(m, strat, cfg)
+	if err != nil {
+		return err
+	}
+	pt := report.NewTable(fmt.Sprintf("%s / %s: parallelism per layer (H1..H%d, 0=dp 1=mp)",
+		m.Name, strat, cfg.Levels), "layer", "levels")
+	for l, layer := range m.Layers {
+		if err := pt.AddRow(layer.Name, plan.LayerString(l)); err != nil {
+			return err
+		}
+	}
+	if err := emit(pt); err != nil {
+		return err
+	}
+	if planOnly {
+		return nil
+	}
+
+	var res *hypar.Result
+	if traceFile != "" {
+		res, err = runTraced(m, strat, cfg, traceFile, w)
+	} else {
+		res, err = hypar.Run(m, strat, cfg)
+	}
+	if err != nil {
+		return err
+	}
+	st := report.NewTable("simulated training step", "metric", "value")
+	rows := []struct {
+		k string
+		v interface{}
+	}{
+		{"step time (s)", res.Stats.StepSeconds},
+		{"compute busy (s)", res.Stats.ComputeSeconds},
+		{"comm busy (s)", res.Stats.TotalCommSeconds()},
+		{"total communication (GB)", res.Stats.CommBytes / 1e9},
+		{"DRAM traffic (GB)", res.Stats.DRAMBytes / 1e9},
+		{"working set per accelerator (GB)", res.Stats.PeakMemoryBytes / 1e9},
+		{"fits HMC capacity", fmt.Sprintf("%v", res.Stats.FitsMemory)},
+		{"energy (J)", res.Stats.EnergyTotal()},
+		{"energy: compute (J)", res.Stats.EnergyCompute},
+		{"energy: SRAM (J)", res.Stats.EnergySRAM},
+		{"energy: DRAM (J)", res.Stats.EnergyDRAM},
+		{"energy: links (J)", res.Stats.EnergyLink},
+		{"scheduled tasks", res.Stats.Tasks},
+	}
+	for _, r := range rows {
+		if err := st.AddRow(r.k, r.v); err != nil {
+			return err
+		}
+	}
+	if err := emit(st); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "accelerators: %d, topology: %s, batch: %d\n",
+		plan.NumAccelerators(), cfg.Topology, cfg.Batch)
+	return err
+}
+
+// runTraced simulates with trace collection and writes the Chrome
+// trace plus an occupancy summary.
+func runTraced(m *hypar.Model, strat hypar.Strategy, cfg hypar.Config,
+	traceFile string, w io.Writer) (*hypar.Result, error) {
+	plan, err := hypar.NewPlan(m, strat, cfg)
+	if err != nil {
+		return nil, err
+	}
+	arch, err := hypar.BuildArch(cfg)
+	if err != nil {
+		return nil, err
+	}
+	arch.CollectTrace = true
+	stats, err := sim.Simulate(m, plan, arch)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Create(traceFile)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := trace.WriteChrome(f, stats.Trace); err != nil {
+		return nil, err
+	}
+	occ, err := trace.Summarize(stats.Trace)
+	if err != nil {
+		return nil, err
+	}
+	ot := report.NewTable("resource occupancy", "resource", "busy-s", "tasks")
+	for _, o := range occ {
+		name := o.Resource
+		if name == "" {
+			name = "(unbound)"
+		}
+		if err := ot.AddRow(name, o.Busy, o.Tasks); err != nil {
+			return nil, err
+		}
+	}
+	if err := ot.WriteText(w); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "chrome trace written to %s (%d tasks)\n\n", traceFile, len(stats.Trace))
+	return &hypar.Result{Strategy: strat, Plan: plan, Stats: stats}, nil
+}
+
+// runExperiments regenerates one or all paper artifacts.
+func runExperiments(which string, cfg hypar.Config, emit func(*report.Table) error) error {
+	type runner func() (*report.Table, error)
+	runners := map[string]runner{
+		"fig5": func() (*report.Table, error) { return experiments.Fig5(cfg) },
+		"fig6": func() (*report.Table, error) { return experiments.Fig6(cfg) },
+		"fig7": func() (*report.Table, error) { return experiments.Fig7(cfg) },
+		"fig8": func() (*report.Table, error) { return experiments.Fig8(cfg) },
+		"fig9": func() (*report.Table, error) {
+			t, _, err := experiments.Fig9(cfg)
+			return t, err
+		},
+		"fig10": func() (*report.Table, error) {
+			t, _, err := experiments.Fig10(cfg)
+			return t, err
+		},
+		"fig11": func() (*report.Table, error) {
+			t, _, err := experiments.Fig11(cfg, 6)
+			return t, err
+		},
+		"fig12": func() (*report.Table, error) { return experiments.Fig12(cfg) },
+		"fig13": func() (*report.Table, error) { return experiments.Fig13(cfg) },
+	}
+	ablations := []runner{
+		func() (*report.Table, error) { return experiments.AblationDepth(cfg, 6, "VGG-A") },
+		func() (*report.Table, error) { return experiments.AblationTopology(cfg, "VGG-A") },
+		func() (*report.Table, error) { return experiments.AblationBatch(cfg, "AlexNet") },
+		func() (*report.Table, error) { return experiments.AblationLinkBandwidth(cfg, "VGG-A") },
+		func() (*report.Table, error) { return experiments.AblationOverlap(cfg, "VGG-A") },
+		func() (*report.Table, error) { return experiments.AblationPrecision(cfg, "VGG-A") },
+	}
+
+	runOne := func(r runner) error {
+		t, err := r()
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	}
+
+	switch which {
+	case "all":
+		for _, k := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"} {
+			if err := runOne(runners[k]); err != nil {
+				return fmt.Errorf("%s: %w", k, err)
+			}
+		}
+		for i, r := range ablations {
+			if err := runOne(r); err != nil {
+				return fmt.Errorf("ablation %d: %w", i, err)
+			}
+		}
+		return nil
+	case "ablations":
+		for i, r := range ablations {
+			if err := runOne(r); err != nil {
+				return fmt.Errorf("ablation %d: %w", i, err)
+			}
+		}
+		return nil
+	default:
+		r, ok := runners[which]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (fig5..fig13, ablations, all)", which)
+		}
+		return runOne(r)
+	}
+}

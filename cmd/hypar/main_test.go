@@ -1,0 +1,129 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"SFC", "SCONV", "VGG-E", "19 weighted layers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}
+
+func TestRunModelPlanOnly(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-model", "Lenet-c", "-plan"}, &b); err != nil {
+		t.Fatalf("run -model -plan: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "conv1") || !strings.Contains(out, "fc2") {
+		t.Errorf("plan output missing layers:\n%s", out)
+	}
+	if strings.Contains(out, "step time") {
+		t.Error("plan-only output contains simulation results")
+	}
+}
+
+func TestRunModelSimulate(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-model", "Lenet-c", "-strategy", "dp"}, &b); err != nil {
+		t.Fatalf("run -model: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"step time", "energy (J)", "accelerators: 16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("simulate output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunStrategies(t *testing.T) {
+	for _, s := range []string{"hypar", "dp", "mp", "trick"} {
+		var b strings.Builder
+		if err := run([]string{"-model", "SCONV", "-strategy", s, "-plan"}, &b); err != nil {
+			t.Errorf("strategy %s: %v", s, err)
+		}
+	}
+	var b strings.Builder
+	if err := run([]string{"-model", "SCONV", "-strategy", "zigzag"}, &b); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestRunExperimentSmall(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-experiment", "fig13"}, &b); err != nil {
+		t.Fatalf("run -experiment fig13: %v", err)
+	}
+	if !strings.Contains(b.String(), "conv5-b32-h2") {
+		t.Errorf("fig13 output wrong:\n%s", b.String())
+	}
+}
+
+func TestRunExperimentCSV(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-experiment", "fig13", "-csv"}, &b); err != nil {
+		t.Fatalf("run -csv: %v", err)
+	}
+	if !strings.Contains(b.String(), "case,performance,energy-efficiency") {
+		t.Errorf("CSV header missing:\n%s", b.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-experiment", "fig99"},
+		{"-model", "NotANet"},
+		{"-model", "Lenet-c", "-topology", "ring"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunTorusTopology(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-model", "Lenet-c", "-topology", "torus"}, &b); err != nil {
+		t.Fatalf("torus run: %v", err)
+	}
+	if !strings.Contains(b.String(), "topology: torus") {
+		t.Error("torus not reported")
+	}
+}
+
+func TestRunTraceFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/trace.json"
+	var b strings.Builder
+	if err := run([]string{"-model", "Lenet-c", "-trace", path}, &b); err != nil {
+		t.Fatalf("run -trace: %v", err)
+	}
+	if !strings.Contains(b.String(), "resource occupancy") {
+		t.Error("occupancy table missing")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(string(data)), "[") {
+		t.Error("trace file is not a JSON array")
+	}
+	// An unwritable path fails cleanly.
+	if err := run([]string{"-model", "Lenet-c", "-trace", dir + "/nope/x.json"}, &b); err == nil {
+		t.Error("unwritable trace path accepted")
+	}
+}

@@ -1,0 +1,68 @@
+// Customnet: bring your own network. The paper's introduction motivates
+// HyPar with applications like face detection and speech recognition;
+// this example builds two such workloads by hand — a compact face-
+// detection-style CNN and a speech-recognition-style MLP with wide
+// hidden layers — and shows how the optimal parallelism differs
+// completely between them.
+//
+// Run with:
+//
+//	go run ./examples/customnet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hypar "repro"
+)
+
+// faceCNN is a DeepID-style face-recognition network: conv-heavy with a
+// small embedding head.
+func faceCNN() *hypar.Model {
+	return &hypar.Model{
+		Name:  "FaceCNN",
+		Input: hypar.Input{H: 64, W: 64, C: 3},
+		Layers: []hypar.Layer{
+			hypar.ConvPoolLayer("conv1", 5, 32, 2),
+			hypar.ConvPoolLayer("conv2", 3, 64, 2),
+			hypar.ConvPoolLayer("conv3", 3, 128, 2),
+			hypar.ConvLayer("conv4", 3, 128),
+			hypar.FCLayer("embed", 256),
+			hypar.FCLayer("ident", 1000),
+		},
+	}
+}
+
+// speechMLP is an acoustic-model-style network: stacked wide
+// fully-connected layers over context-window features.
+func speechMLP() *hypar.Model {
+	return &hypar.Model{
+		Name:  "SpeechMLP",
+		Input: hypar.Input{H: 1, W: 1, C: 440}, // 11-frame context × 40 filterbanks
+		Layers: []hypar.Layer{
+			hypar.FCLayer("h1", 2048),
+			hypar.FCLayer("h2", 2048),
+			hypar.FCLayer("h3", 2048),
+			hypar.FCLayer("h4", 2048),
+			hypar.FCLayer("out", 9304),
+		},
+	}
+}
+
+func main() {
+	cfg := hypar.DefaultConfig()
+	for _, m := range []*hypar.Model{faceCNN(), speechMLP()} {
+		cmp, err := hypar.Compare(m, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan := cmp.Results[hypar.HyPar].Plan
+		fmt.Printf("%s: HyPar gains %.2fx over Data Parallelism, %.2fx energy\n",
+			m.Name, cmp.PerformanceGain(hypar.HyPar), cmp.EnergyEfficiency(hypar.HyPar))
+		for l, layer := range m.Layers {
+			fmt.Printf("  %-6s %-4s %s\n", layer.Name, layer.Type, plan.LayerString(l))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,47 @@
+// Quickstart: plan hybrid parallelism for VGG-A on the paper's sixteen-
+// accelerator HMC array and simulate one training step, comparing HyPar
+// against the default Data and Model Parallelism.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hypar "repro"
+)
+
+func main() {
+	m, err := hypar.ModelByName("VGG-A")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := hypar.DefaultConfig() // batch 256, 16 accelerators, H-tree
+
+	// 1. The partition HyPar's dynamic program chooses, layer by layer.
+	plan, err := hypar.NewPlan(m, hypar.HyPar, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HyPar partition for %s (H1..H4, 0=dp 1=mp):\n", m.Name)
+	for l, layer := range m.Layers {
+		fmt.Printf("  %-8s %s\n", layer.Name, plan.LayerString(l))
+	}
+	fmt.Printf("total communication per step: %.2f GB\n\n", plan.TotalBytes(hypar.Float32)/1e9)
+
+	// 2. Simulated training-step comparison against the baselines.
+	cmp, err := hypar.Compare(m, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("strategy         step(s)   comm(GB)  energy(J)  gain-vs-DP")
+	for _, s := range hypar.Strategies {
+		r := cmp.Results[s]
+		fmt.Printf("%-15s %8.3f %10.3f %10.1f %10.3f\n",
+			s, r.Stats.StepSeconds, r.Stats.CommBytes/1e9,
+			r.Stats.EnergyTotal(), cmp.PerformanceGain(s))
+	}
+}

@@ -1,0 +1,64 @@
+// Scalability: grow the accelerator array from 1 to 64 accelerators
+// (hierarchy depth 0 to 6) and watch Data Parallelism saturate while
+// HyPar keeps scaling — the paper's Figure 11 study, plus the topology
+// sensitivity of the result.
+//
+// Run with:
+//
+//	go run ./examples/scalability
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	hypar "repro"
+)
+
+func main() {
+	m, err := hypar.ModelByName("VGG-A")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := hypar.DefaultConfig()
+	base.Levels = 0
+	single, err := hypar.Run(m, hypar.DataParallel, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single accelerator: %.2f s per step\n\n", single.Stats.StepSeconds)
+
+	fmt.Println("accs  gain-HyPar  gain-DP   comm-HyPar(GB)  comm-DP(GB)  bar")
+	for levels := 0; levels <= 6; levels++ {
+		cfg := hypar.DefaultConfig()
+		cfg.Levels = levels
+		hp, err := hypar.Run(m, hypar.HyPar, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dp, err := hypar.Run(m, hypar.DataParallel, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gainHP := single.Stats.StepSeconds / hp.Stats.StepSeconds
+		gainDP := single.Stats.StepSeconds / dp.Stats.StepSeconds
+		fmt.Printf("%4d  %10.2f  %7.2f   %14.2f  %11.2f  %s\n",
+			1<<uint(levels), gainHP, gainDP,
+			hp.Stats.CommBytes/1e9, dp.Stats.CommBytes/1e9,
+			strings.Repeat("#", int(gainHP)))
+	}
+
+	// Topology sensitivity at sixteen accelerators.
+	fmt.Println("\ntopology sensitivity (16 accelerators, HyPar):")
+	for _, topo := range []string{"htree", "torus", "ideal"} {
+		cfg := hypar.DefaultConfig()
+		cfg.Topology = topo
+		r, err := hypar.Run(m, hypar.HyPar, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6s %.3f s per step\n", topo, r.Stats.StepSeconds)
+	}
+}

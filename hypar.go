@@ -1,0 +1,319 @@
+// Package hypar is the public API of this reproduction of "HyPar:
+// Towards Hybrid Parallelism for Deep Learning Accelerator Array"
+// (Song et al., HPCA 2019).
+//
+// HyPar trains a deep neural network on an array of 2^H HMC-based
+// accelerators and must decide, for every weighted layer at every level
+// of the array hierarchy, between data parallelism (shard the batch,
+// replicate the kernel) and model parallelism (shard the kernel,
+// aggregate output partial sums). The package computes the
+// communication-minimizing hybrid partition with a linear-time
+// layer-wise dynamic program applied level by level, and evaluates
+// partitions on an event-driven simulator of the HMC + Eyeriss-style
+// row-stationary + H-tree/torus architecture.
+//
+// Typical use:
+//
+//	m, _ := hypar.ModelByName("VGG-A")
+//	res, _ := hypar.Run(m, hypar.HyPar, hypar.DefaultConfig())
+//	fmt.Println(res.Plan.LayerString(0), res.Stats.StepSeconds)
+//
+// or compare against the published baselines:
+//
+//	cmp, _ := hypar.Compare(m, hypar.DefaultConfig())
+//	fmt.Println(cmp.PerformanceGain(hypar.HyPar)) // normalized to DP
+package hypar
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/noc"
+	"repro/internal/partition"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+// ErrConfig reports an invalid top-level configuration.
+var ErrConfig = errors.New("hypar: invalid config")
+
+// Re-exported core types, so downstream users interact with one import.
+type (
+	// Model is a feed-forward DNN description (see nn.Model).
+	Model = nn.Model
+	// Input is the geometry of one training sample.
+	Input = nn.Input
+	// Layer is one weighted layer with folded pooling/activation.
+	Layer = nn.Layer
+	// LayerType distinguishes convolutional from fully-connected layers.
+	LayerType = nn.LayerType
+	// Plan is a hierarchical parallelism assignment with its
+	// communication volumes.
+	Plan = partition.Plan
+	// Stats is the simulated outcome of one training step.
+	Stats = sim.Stats
+	// Arch is the simulated hardware platform.
+	Arch = sim.Arch
+)
+
+// Layer kind constants for hand-built models.
+const (
+	// Conv marks a convolutional layer.
+	Conv = nn.Conv
+	// FC marks a fully-connected layer.
+	FC = nn.FC
+)
+
+// DType is the element type tensors are accounted in.
+type DType = tensor.DType
+
+// Float32 is the paper's 32-bit floating-point precision.
+const Float32 = tensor.Float32
+
+// Layer constructors for hand-built models.
+var (
+	// ConvLayer builds a stride-1 convolution.
+	ConvLayer = nn.ConvLayer
+	// ConvPoolLayer builds a stride-1 convolution with max pooling.
+	ConvPoolLayer = nn.ConvPoolLayer
+	// FCLayer builds a fully-connected layer.
+	FCLayer = nn.FCLayer
+)
+
+// Model zoo passthroughs (the paper's ten evaluation networks).
+var (
+	// Zoo returns the ten networks of the evaluation (Figure 5 order).
+	Zoo = nn.Zoo
+	// ModelByName looks a zoo network up by name, e.g. "VGG-A".
+	ModelByName = nn.ByName
+)
+
+// Strategy selects how the parallelism assignment is produced.
+type Strategy int
+
+const (
+	// HyPar runs the hierarchical dynamic-programming partition search
+	// (the paper's contribution).
+	HyPar Strategy = iota
+	// DataParallel assigns data parallelism everywhere (the default
+	// baseline all results are normalized to).
+	DataParallel
+	// ModelParallel assigns model parallelism everywhere.
+	ModelParallel
+	// OneWeirdTrick assigns dp to conv layers and mp to fc layers at
+	// every level (Krizhevsky's empirical configuration [111]).
+	OneWeirdTrick
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case HyPar:
+		return "HyPar"
+	case DataParallel:
+		return "DataParallel"
+	case ModelParallel:
+		return "ModelParallel"
+	case OneWeirdTrick:
+		return "OneWeirdTrick"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Strategies lists all supported strategies in report order.
+var Strategies = []Strategy{ModelParallel, DataParallel, OneWeirdTrick, HyPar}
+
+// Config selects the workload and platform parameters.
+type Config struct {
+	// Batch is the mini-batch size (paper default: 256).
+	Batch int
+	// Levels is the hierarchy depth H; the array has 2^H accelerators
+	// (paper default: 4 → 16 accelerators).
+	Levels int
+	// Topology is "htree" (default), "torus" or "ideal".
+	Topology string
+	// LinkMbps is the NoC link bandwidth (paper default: 1600 Mb/s).
+	LinkMbps float64
+	// OverlapGradComm enables the communication-hiding runtime
+	// ablation (off by default, matching the paper's phase-serial
+	// simulator).
+	OverlapGradComm bool
+	// Precision selects the element width: "fp32" (paper default,
+	// empty means fp32), "fp16" or "int8" for precision ablations.
+	Precision string
+}
+
+// DefaultConfig returns the paper's evaluation setup: batch 256,
+// sixteen accelerators in four hierarchy levels, H-tree with 1600 Mb/s
+// links.
+func DefaultConfig() Config {
+	return Config{Batch: 256, Levels: 4, Topology: "htree", LinkMbps: 1600}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Batch <= 0 {
+		return fmt.Errorf("%w: batch %d", ErrConfig, c.Batch)
+	}
+	if c.Levels < 0 || c.Levels > 20 {
+		return fmt.Errorf("%w: levels %d", ErrConfig, c.Levels)
+	}
+	if c.LinkMbps <= 0 {
+		return fmt.Errorf("%w: link bandwidth %g Mb/s", ErrConfig, c.LinkMbps)
+	}
+	switch c.Topology {
+	case "htree", "torus", "ideal":
+	default:
+		return fmt.Errorf("%w: unknown topology %q (htree, torus, ideal)", ErrConfig, c.Topology)
+	}
+	if _, err := c.dtype(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// dtype resolves the configured precision.
+func (c Config) dtype() (tensor.DType, error) {
+	switch c.Precision {
+	case "", "fp32":
+		return tensor.Float32, nil
+	case "fp16":
+		return tensor.Float16, nil
+	case "int8":
+		return tensor.Int8, nil
+	default:
+		return tensor.Float32, fmt.Errorf("%w: unknown precision %q (fp32, fp16, int8)", ErrConfig, c.Precision)
+	}
+}
+
+// BuildArch materializes the simulated platform for the configuration.
+func BuildArch(c Config) (Arch, error) {
+	if err := c.Validate(); err != nil {
+		return Arch{}, err
+	}
+	arch, err := sim.DefaultArch(c.Levels)
+	if err != nil {
+		return Arch{}, err
+	}
+	switch c.Topology {
+	case "torus":
+		t, err := noc.NewTorus(c.Levels, c.LinkMbps)
+		if err != nil {
+			return Arch{}, err
+		}
+		arch.NoC = t
+	case "ideal":
+		arch.NoC = noc.NewIdeal(c.Levels)
+	default:
+		t, err := noc.NewHTree(c.Levels, c.LinkMbps)
+		if err != nil {
+			return Arch{}, err
+		}
+		arch.NoC = t
+	}
+	arch.OverlapGradComm = c.OverlapGradComm
+	dt, err := c.dtype()
+	if err != nil {
+		return Arch{}, err
+	}
+	arch.DType = dt
+	return arch, nil
+}
+
+// NewPlan produces the parallelism assignment for the model under the
+// given strategy and configuration.
+func NewPlan(m *Model, s Strategy, c Config) (*Plan, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	switch s {
+	case HyPar:
+		return partition.Hierarchical(m, c.Batch, c.Levels)
+	case DataParallel:
+		return partition.DataParallel(m, c.Batch, c.Levels)
+	case ModelParallel:
+		return partition.ModelParallel(m, c.Batch, c.Levels)
+	case OneWeirdTrick:
+		return partition.OneWeirdTrick(m, c.Batch, c.Levels)
+	default:
+		return nil, fmt.Errorf("%w: unknown strategy %v", ErrConfig, s)
+	}
+}
+
+// NewInferencePlan runs the partition search with the inference cost
+// model (§3.3): no gradients, no backward errors. The optimum is pure
+// Data Parallelism with zero communication — exposed so users can
+// verify that property and plan inference-only deployments.
+func NewInferencePlan(m *Model, c Config) (*Plan, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return partition.HierarchicalInference(m, c.Batch, c.Levels)
+}
+
+// Result pairs a plan with its simulated training-step statistics.
+type Result struct {
+	Strategy Strategy
+	Plan     *Plan
+	Stats    *Stats
+}
+
+// Run plans and simulates one training step.
+func Run(m *Model, s Strategy, c Config) (*Result, error) {
+	plan, err := NewPlan(m, s, c)
+	if err != nil {
+		return nil, err
+	}
+	arch, err := BuildArch(c)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := sim.Simulate(m, plan, arch)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Strategy: s, Plan: plan, Stats: stats}, nil
+}
+
+// Comparison holds one Result per strategy for one model and config.
+type Comparison struct {
+	Model   string
+	Results map[Strategy]*Result
+}
+
+// Compare runs every strategy on the model.
+func Compare(m *Model, c Config) (*Comparison, error) {
+	cmp := &Comparison{Model: m.Name, Results: make(map[Strategy]*Result, len(Strategies))}
+	for _, s := range Strategies {
+		r, err := Run(m, s, c)
+		if err != nil {
+			return nil, fmt.Errorf("strategy %v: %w", s, err)
+		}
+		cmp.Results[s] = r
+	}
+	return cmp, nil
+}
+
+// PerformanceGain returns the strategy's speedup over the Data
+// Parallelism baseline (Figure 6's normalization).
+func (c *Comparison) PerformanceGain(s Strategy) float64 {
+	dp, ok1 := c.Results[DataParallel]
+	r, ok2 := c.Results[s]
+	if !ok1 || !ok2 || r.Stats.StepSeconds == 0 {
+		return 0
+	}
+	return dp.Stats.StepSeconds / r.Stats.StepSeconds
+}
+
+// EnergyEfficiency returns the strategy's energy saving over the Data
+// Parallelism baseline (Figure 7's normalization).
+func (c *Comparison) EnergyEfficiency(s Strategy) float64 {
+	dp, ok1 := c.Results[DataParallel]
+	r, ok2 := c.Results[s]
+	if !ok1 || !ok2 || r.Stats.EnergyTotal() == 0 {
+		return 0
+	}
+	return dp.Stats.EnergyTotal() / r.Stats.EnergyTotal()
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+
+	hypar "repro"
+	"repro/internal/report"
+	"repro/internal/tensor"
+)
+
+// AblationDepth sweeps the hierarchy depth H (array sizes 2..2^max) and
+// reports HyPar's communication advantage over Data Parallelism — the
+// design-choice study behind the hierarchical recursion.
+func AblationDepth(cfg hypar.Config, maxLevels int, modelName string) (*report.Table, error) {
+	m, err := hypar.ModelByName(modelName)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Ablation: hierarchy depth vs communication ("+modelName+")",
+		"levels", "accelerators", "comm-HyPar-GB", "comm-DP-GB", "ratio")
+	for levels := 1; levels <= maxLevels; levels++ {
+		c := cfg
+		c.Levels = levels
+		hp, err := hypar.NewPlan(m, hypar.HyPar, c)
+		if err != nil {
+			return nil, err
+		}
+		dp, err := hypar.NewPlan(m, hypar.DataParallel, c)
+		if err != nil {
+			return nil, err
+		}
+		hpB := hp.TotalBytes(tensor.Float32)
+		dpB := dp.TotalBytes(tensor.Float32)
+		ratio := 0.0
+		if hpB > 0 {
+			ratio = dpB / hpB
+		}
+		if err := t.AddRow(levels, 1<<uint(levels), hpB/1e9, dpB/1e9, ratio); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// AblationTopology compares HyPar's step time across H-tree, torus and
+// the ideal fabric — isolating how much of the gain is NoC-bound.
+func AblationTopology(cfg hypar.Config, modelName string) (*report.Table, error) {
+	m, err := hypar.ModelByName(modelName)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Ablation: topology vs step time ("+modelName+")",
+		"topology", "step-s", "comm-busy-s")
+	for _, topo := range []string{"htree", "torus", "ideal"} {
+		c := cfg
+		c.Topology = topo
+		r, err := hypar.Run(m, hypar.HyPar, c)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.AddRow(topo, r.Stats.StepSeconds, r.Stats.TotalCommSeconds()); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// AblationBatch sweeps the batch size and reports which parallelism the
+// communication model prefers for a representative conv and fc layer —
+// the §3.4 crossover study.
+func AblationBatch(cfg hypar.Config, modelName string) (*report.Table, error) {
+	m, err := hypar.ModelByName(modelName)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Ablation: batch size vs optimized parallelism ("+modelName+")",
+		"batch", "plan-H1", "comm-GB")
+	for _, b := range []int{16, 64, 256, 1024, 4096} {
+		c := cfg
+		c.Batch = b
+		plan, err := hypar.NewPlan(m, hypar.HyPar, c)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.AddRow(b, plan.Levels[0].String(), plan.TotalBytes(tensor.Float32)/1e9); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// AblationLinkBandwidth sweeps the NoC link bandwidth and reports
+// HyPar's performance gain over Data Parallelism — the sensitivity of
+// the headline result to the 1600 Mb/s assumption.
+func AblationLinkBandwidth(cfg hypar.Config, modelName string) (*report.Table, error) {
+	m, err := hypar.ModelByName(modelName)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Ablation: link bandwidth vs HyPar gain ("+modelName+")",
+		"link-Mbps", "gain-vs-DP")
+	for _, mbps := range []float64{400, 800, 1600, 3200, 6400, 12800} {
+		c := cfg
+		c.LinkMbps = mbps
+		dp, err := hypar.Run(m, hypar.DataParallel, c)
+		if err != nil {
+			return nil, err
+		}
+		hp, err := hypar.Run(m, hypar.HyPar, c)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.AddRow(mbps, dp.Stats.StepSeconds/hp.Stats.StepSeconds); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// AblationPrecision sweeps the element width and reports HyPar's gain
+// and absolute communication — quantifying how much of the headline
+// result survives quantized training.
+func AblationPrecision(cfg hypar.Config, modelName string) (*report.Table, error) {
+	m, err := hypar.ModelByName(modelName)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Ablation: precision vs gain and communication ("+modelName+")",
+		"precision", "gain-vs-DP", "comm-HyPar-GB", "fits-8GB")
+	for _, prec := range []string{"fp32", "fp16", "int8"} {
+		c := cfg
+		c.Precision = prec
+		dp, err := hypar.Run(m, hypar.DataParallel, c)
+		if err != nil {
+			return nil, err
+		}
+		hp, err := hypar.Run(m, hypar.HyPar, c)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.AddRow(prec, dp.Stats.StepSeconds/hp.Stats.StepSeconds,
+			hp.Stats.CommBytes/1e9, fmt.Sprintf("%v", hp.Stats.FitsMemory)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// AblationOverlap quantifies what a gradient-communication-hiding
+// runtime would recover on top of the phase-serial schedule, for every
+// strategy on one model.
+func AblationOverlap(cfg hypar.Config, modelName string) (*report.Table, error) {
+	m, err := hypar.ModelByName(modelName)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Ablation: phase-serial vs overlapped gradient communication ("+modelName+")",
+		"strategy", "serial-s", "overlap-s", "hidden-frac")
+	for _, s := range hypar.Strategies {
+		serialCfg := cfg
+		serialCfg.OverlapGradComm = false
+		overlapCfg := cfg
+		overlapCfg.OverlapGradComm = true
+		sr, err := hypar.Run(m, s, serialCfg)
+		if err != nil {
+			return nil, err
+		}
+		or, err := hypar.Run(m, s, overlapCfg)
+		if err != nil {
+			return nil, err
+		}
+		hidden := 0.0
+		if sr.Stats.StepSeconds > 0 {
+			hidden = 1 - or.Stats.StepSeconds/sr.Stats.StepSeconds
+		}
+		if err := t.AddRow(s.String(), sr.Stats.StepSeconds, or.Stats.StepSeconds, hidden); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,191 @@
+// Package experiments regenerates every table and figure of the HyPar
+// paper's evaluation (§6): the optimized parallelism maps (Fig. 5), the
+// performance / energy / communication comparisons against the default
+// Data and Model Parallelism (Figs. 6-8), the parallelism-space
+// explorations (Figs. 9-10), the scalability study (Fig. 11), the
+// H-tree vs torus comparison (Fig. 12) and the comparison against "one
+// weird trick" (Fig. 13), plus the ablations DESIGN.md calls out.
+//
+// Every runner returns report tables whose rows correspond to the
+// series the paper plots, so cmd/hypar and the benchmark harness print
+// directly comparable output.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	hypar "repro"
+	"repro/internal/report"
+)
+
+// ErrExperiment reports a failed experiment precondition.
+var ErrExperiment = errors.New("experiments: failed")
+
+// geomean returns the geometric mean of strictly positive values.
+func geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vals)))
+}
+
+// compareZoo runs all strategies over the ten zoo networks once and
+// caches nothing: each figure runner is self-contained.
+func compareZoo(cfg hypar.Config) ([]*hypar.Comparison, error) {
+	zoo := hypar.Zoo()
+	out := make([]*hypar.Comparison, 0, len(zoo))
+	for _, m := range zoo {
+		cmp, err := hypar.Compare(m, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrExperiment, m.Name, err)
+		}
+		out = append(out, cmp)
+	}
+	return out, nil
+}
+
+// Fig5 reports the optimized parallelism for every weighted layer of
+// the ten networks at each hierarchy level (paper Figure 5): one row
+// per layer, one 0/1 column per level (0 = dp, 1 = mp).
+func Fig5(cfg hypar.Config) (*report.Table, error) {
+	t := report.NewTable("Figure 5: optimized parallelism per layer and hierarchy level (0=dp, 1=mp)",
+		"model", "layer", "H1..H4")
+	for _, m := range hypar.Zoo() {
+		plan, err := hypar.NewPlan(m, hypar.HyPar, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for l, layer := range m.Layers {
+			if err := t.AddRow(m.Name, layer.Name, plan.LayerString(l)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// Fig6 reports training-step performance of Model Parallelism, Data
+// Parallelism and HyPar normalized to Data Parallelism (paper Figure 6),
+// with the geometric mean over the ten networks.
+func Fig6(cfg hypar.Config) (*report.Table, error) {
+	cmps, err := compareZoo(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Figure 6: performance normalized to Data Parallelism",
+		"model", "ModelParallelism", "DataParallelism", "HyPar")
+	var mps, hps []float64
+	for _, c := range cmps {
+		mp := c.PerformanceGain(hypar.ModelParallel)
+		hp := c.PerformanceGain(hypar.HyPar)
+		mps = append(mps, mp)
+		hps = append(hps, hp)
+		if err := t.AddRow(c.Model, mp, 1.0, hp); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.AddRow("Gmean", geomean(mps), 1.0, geomean(hps)); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Fig7 reports energy efficiency normalized to Data Parallelism (paper
+// Figure 7).
+func Fig7(cfg hypar.Config) (*report.Table, error) {
+	cmps, err := compareZoo(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Figure 7: energy efficiency normalized to Data Parallelism",
+		"model", "ModelParallelism", "DataParallelism", "HyPar")
+	var mps, hps []float64
+	for _, c := range cmps {
+		mp := c.EnergyEfficiency(hypar.ModelParallel)
+		hp := c.EnergyEfficiency(hypar.HyPar)
+		mps = append(mps, mp)
+		hps = append(hps, hp)
+		if err := t.AddRow(c.Model, mp, 1.0, hp); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.AddRow("Gmean", geomean(mps), 1.0, geomean(hps)); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Fig8 reports the total communication per training step in decimal GB
+// (paper Figure 8).
+func Fig8(cfg hypar.Config) (*report.Table, error) {
+	cmps, err := compareZoo(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Figure 8: total communication per step (GB)",
+		"model", "ModelParallelism", "DataParallelism", "HyPar")
+	var mps, dps, hps []float64
+	for _, c := range cmps {
+		mp := c.Results[hypar.ModelParallel].Stats.CommBytes / 1e9
+		dp := c.Results[hypar.DataParallel].Stats.CommBytes / 1e9
+		hp := c.Results[hypar.HyPar].Stats.CommBytes / 1e9
+		mps = append(mps, mp)
+		dps = append(dps, dp)
+		hps = append(hps, hp)
+		if err := t.AddRow(c.Model, mp, dp, hp); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.AddRow("Gmean", geomean(mps), geomean(dps), geomean(hps)); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Fig12 compares H-tree and torus topologies across the zoo, both
+// normalized to Data Parallelism on the same topology's H-tree baseline
+// (paper Figure 12).
+func Fig12(cfg hypar.Config) (*report.Table, error) {
+	t := report.NewTable("Figure 12: HyPar performance normalized to Data Parallelism, torus vs H tree",
+		"model", "Torus", "HTree")
+	htCfg := cfg
+	htCfg.Topology = "htree"
+	toCfg := cfg
+	toCfg.Topology = "torus"
+	var tors, hts []float64
+	for _, m := range hypar.Zoo() {
+		// The paper normalizes both topologies to the H-tree DP run.
+		dpHT, err := hypar.Run(m, hypar.DataParallel, htCfg)
+		if err != nil {
+			return nil, err
+		}
+		hpHT, err := hypar.Run(m, hypar.HyPar, htCfg)
+		if err != nil {
+			return nil, err
+		}
+		hpTO, err := hypar.Run(m, hypar.HyPar, toCfg)
+		if err != nil {
+			return nil, err
+		}
+		tor := dpHT.Stats.StepSeconds / hpTO.Stats.StepSeconds
+		ht := dpHT.Stats.StepSeconds / hpHT.Stats.StepSeconds
+		tors = append(tors, tor)
+		hts = append(hts, ht)
+		if err := t.AddRow(m.Name, tor, ht); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.AddRow("Gmean", geomean(tors), geomean(hts)); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

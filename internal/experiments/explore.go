@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	hypar "repro"
+	"repro/internal/partition"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// ExplorePoint is one simulated sample of a parallelism-space
+// exploration: the free-variable bit codes and the performance
+// normalized to Data Parallelism.
+type ExplorePoint struct {
+	// Labels maps each swept entity to its 0/1 choice string (e.g.
+	// "H1" -> "0011" for Fig. 9, "conv5_2" -> "1000" for Fig. 10).
+	Labels map[string]string
+	// Gain is the performance normalized to Data Parallelism.
+	Gain float64
+	// IsHyPar marks the point whose free bits equal HyPar's own plan.
+	IsHyPar bool
+}
+
+// Exploration is a full sweep with its peak and HyPar points.
+type Exploration struct {
+	Points []ExplorePoint
+	Peak   ExplorePoint
+	HyPar  ExplorePoint
+}
+
+// runExploration evaluates all settings of the free variables on top of
+// the HyPar plan and simulates each.
+func runExploration(m *hypar.Model, cfg hypar.Config, free []partition.FreeVar,
+	label func(code int) map[string]string) (*Exploration, error) {
+	base, err := hypar.NewPlan(m, hypar.HyPar, cfg)
+	if err != nil {
+		return nil, err
+	}
+	dp, err := hypar.Run(m, hypar.DataParallel, cfg)
+	if err != nil {
+		return nil, err
+	}
+	arch, err := hypar.BuildArch(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var hyparCode int
+	for i, fv := range free {
+		if base.Levels[fv.Level][fv.Layer].Mark() == '1' {
+			hyparCode |= 1 << uint(i)
+		}
+	}
+	points, err := partition.Explore(m, cfg.Batch, base.Levels, free)
+	if err != nil {
+		return nil, err
+	}
+	ex := &Exploration{Points: make([]ExplorePoint, 0, len(points))}
+	for _, pt := range points {
+		stats, err := sim.Simulate(m, pt.Plan, arch)
+		if err != nil {
+			return nil, err
+		}
+		ep := ExplorePoint{
+			Labels:  label(pt.Code),
+			Gain:    dp.Stats.StepSeconds / stats.StepSeconds,
+			IsHyPar: pt.Code == hyparCode,
+		}
+		ex.Points = append(ex.Points, ep)
+		if ep.Gain > ex.Peak.Gain {
+			ex.Peak = ep
+		}
+		if ep.IsHyPar {
+			ex.HyPar = ep
+		}
+	}
+	if ex.HyPar.Labels == nil {
+		return nil, fmt.Errorf("%w: HyPar's own point missing from exploration", ErrExperiment)
+	}
+	return ex, nil
+}
+
+// bits renders the given bit-slice of code as a 0/1 string, LSB-first
+// variable order but most-significant level first in the string, to
+// match the H1..H4 reading direction of Figures 9-10.
+func bits(code, offset, width int) string {
+	b := make([]byte, width)
+	for i := 0; i < width; i++ {
+		if code&(1<<uint(offset+i)) != 0 {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// Fig9 explores the Lenet-c parallelism space (paper Figure 9): the
+// parallelisms of all four weighted layers at levels H1 and H4 sweep
+// over 2^8 = 256 points while H2 and H3 stay at HyPar's optimum. The
+// returned table lists the peak point, HyPar's point, and the sweep
+// sorted by gain (top ten rows).
+func Fig9(cfg hypar.Config) (*report.Table, *Exploration, error) {
+	m, err := hypar.ModelByName("Lenet-c")
+	if err != nil {
+		return nil, nil, err
+	}
+	nl := len(m.Layers)
+	free := make([]partition.FreeVar, 0, 2*nl)
+	for l := 0; l < nl; l++ {
+		free = append(free, partition.FreeVar{Level: 0, Layer: l})
+	}
+	for l := 0; l < nl; l++ {
+		free = append(free, partition.FreeVar{Level: cfg.Levels - 1, Layer: l})
+	}
+	label := func(code int) map[string]string {
+		return map[string]string{
+			"H1": bits(code, 0, nl),
+			"H4": bits(code, nl, nl),
+		}
+	}
+	ex, err := runExploration(m, cfg, free, label)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := report.NewTable("Figure 9: Lenet-c parallelism space (H1 and H4 swept, H2/H3 fixed)",
+		"point", "H1", "H4", "gain-vs-DP")
+	if err := addExploreRows(t, ex, []string{"H1", "H4"}); err != nil {
+		return nil, nil, err
+	}
+	return t, ex, nil
+}
+
+// Fig10 explores the VGG-A space (paper Figure 10): the parallelisms of
+// conv5_2 and fc1 across all four hierarchy levels sweep over 2^8 = 256
+// points while every other layer stays at HyPar's optimum.
+func Fig10(cfg hypar.Config) (*report.Table, *Exploration, error) {
+	m, err := hypar.ModelByName("VGG-A")
+	if err != nil {
+		return nil, nil, err
+	}
+	conv52, fc1 := -1, -1
+	for l, layer := range m.Layers {
+		switch layer.Name {
+		case "conv5_2":
+			conv52 = l
+		case "fc1":
+			fc1 = l
+		}
+	}
+	if conv52 < 0 || fc1 < 0 {
+		return nil, nil, fmt.Errorf("%w: VGG-A layers not found", ErrExperiment)
+	}
+	free := make([]partition.FreeVar, 0, 2*cfg.Levels)
+	for h := 0; h < cfg.Levels; h++ {
+		free = append(free, partition.FreeVar{Level: h, Layer: conv52})
+	}
+	for h := 0; h < cfg.Levels; h++ {
+		free = append(free, partition.FreeVar{Level: h, Layer: fc1})
+	}
+	label := func(code int) map[string]string {
+		return map[string]string{
+			"conv5_2": bits(code, 0, cfg.Levels),
+			"fc1":     bits(code, cfg.Levels, cfg.Levels),
+		}
+	}
+	ex, err := runExploration(m, cfg, free, label)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := report.NewTable("Figure 10: VGG-A parallelism space (conv5_2 and fc1 swept)",
+		"point", "conv5_2", "fc1", "gain-vs-DP")
+	if err := addExploreRows(t, ex, []string{"conv5_2", "fc1"}); err != nil {
+		return nil, nil, err
+	}
+	return t, ex, nil
+}
+
+// addExploreRows emits the peak and HyPar rows followed by the ten best
+// sweep points.
+func addExploreRows(t *report.Table, ex *Exploration, keys []string) error {
+	row := func(name string, p ExplorePoint) error {
+		cells := make([]interface{}, 0, len(keys)+2)
+		cells = append(cells, name)
+		for _, k := range keys {
+			cells = append(cells, p.Labels[k])
+		}
+		cells = append(cells, p.Gain)
+		return t.AddRow(cells...)
+	}
+	if err := row("Peak", ex.Peak); err != nil {
+		return err
+	}
+	if err := row("HyPar", ex.HyPar); err != nil {
+		return err
+	}
+	sorted := make([]ExplorePoint, len(ex.Points))
+	copy(sorted, ex.Points)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Gain > sorted[j].Gain })
+	for i := 0; i < len(sorted) && i < 10; i++ {
+		if err := row(fmt.Sprintf("top%02d", i+1), sorted[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

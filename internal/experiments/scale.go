@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	hypar "repro"
+	"repro/internal/report"
+)
+
+// ScalePoint is one array size of the scalability study.
+type ScalePoint struct {
+	Accelerators int
+	// Gains normalized to the single-accelerator step time.
+	GainHyPar float64
+	GainDP    float64
+	// Total communication per step, bytes.
+	CommHyPar float64
+	CommDP    float64
+}
+
+// Fig11 reproduces the scalability study (paper Figure 11): VGG-A on 1
+// to 2^maxLevels accelerators, reporting the performance gain over one
+// accelerator and the total communication for HyPar and Data
+// Parallelism.
+func Fig11(cfg hypar.Config, maxLevels int) (*report.Table, []ScalePoint, error) {
+	m, err := hypar.ModelByName("VGG-A")
+	if err != nil {
+		return nil, nil, err
+	}
+	base := cfg
+	base.Levels = 0
+	single, err := hypar.Run(m, hypar.DataParallel, base)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := report.NewTable("Figure 11: scalability of HyPar vs Data Parallelism (VGG-A)",
+		"accelerators", "gain-HyPar", "gain-DP", "comm-HyPar-GB", "comm-DP-GB")
+	points := make([]ScalePoint, 0, maxLevels+1)
+	for levels := 0; levels <= maxLevels; levels++ {
+		c := cfg
+		c.Levels = levels
+		hp, err := hypar.Run(m, hypar.HyPar, c)
+		if err != nil {
+			return nil, nil, err
+		}
+		dp, err := hypar.Run(m, hypar.DataParallel, c)
+		if err != nil {
+			return nil, nil, err
+		}
+		p := ScalePoint{
+			Accelerators: 1 << uint(levels),
+			GainHyPar:    single.Stats.StepSeconds / hp.Stats.StepSeconds,
+			GainDP:       single.Stats.StepSeconds / dp.Stats.StepSeconds,
+			CommHyPar:    hp.Stats.CommBytes,
+			CommDP:       dp.Stats.CommBytes,
+		}
+		points = append(points, p)
+		if err := t.AddRow(p.Accelerators, p.GainHyPar, p.GainDP,
+			p.CommHyPar/1e9, p.CommDP/1e9); err != nil {
+			return nil, nil, err
+		}
+	}
+	return t, points, nil
+}

@@ -1,0 +1,107 @@
+// Package hmc models the Hybrid Memory Cube that hosts each accelerator
+// of the HyPar array (paper §5): stacked DRAM dies over a logic die
+// carrying the processing units, 320 GB/s of internal bandwidth and 8 GB
+// of capacity per cube, plus the Horowitz [116] energy constants the
+// paper's evaluation uses.
+package hmc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrConfig reports an invalid HMC configuration.
+var ErrConfig = errors.New("hmc: invalid config")
+
+// Config describes one HMC cube and the energy cost table.
+type Config struct {
+	// BandwidthGBs is the cube-internal DRAM bandwidth in GB/s
+	// (HMC 2.1 specification: 320 GB/s).
+	BandwidthGBs float64
+	// CapacityGB is the cube capacity in GB (8 GB).
+	CapacityGB float64
+
+	// Energy per operation, picojoules (paper §6.1, from Horowitz).
+	EnergyAddPJ  float64 // 32-bit float ADD: 0.9 pJ
+	EnergyMulPJ  float64 // 32-bit float MULT: 3.7 pJ
+	EnergySRAMPJ float64 // 32-bit SRAM access: 5.0 pJ
+	EnergyDRAMPJ float64 // 32-bit DRAM access: 640 pJ
+	// EnergyLinkPJ is the SerDes cost of moving one 32-bit word across
+	// an inter-cube link. The paper does not list it separately; HMC
+	// SerDes measurements put it near 13.7 pJ/bit ≈ 440 pJ/32 b.
+	EnergyLinkPJ float64
+}
+
+// Default returns the paper's evaluation configuration.
+func Default() Config {
+	return Config{
+		BandwidthGBs: 320,
+		CapacityGB:   8,
+		EnergyAddPJ:  0.9,
+		EnergyMulPJ:  3.7,
+		EnergySRAMPJ: 5.0,
+		EnergyDRAMPJ: 640,
+		EnergyLinkPJ: 440,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.BandwidthGBs <= 0 {
+		return fmt.Errorf("%w: bandwidth %g GB/s", ErrConfig, c.BandwidthGBs)
+	}
+	if c.CapacityGB <= 0 {
+		return fmt.Errorf("%w: capacity %g GB", ErrConfig, c.CapacityGB)
+	}
+	for _, e := range []float64{c.EnergyAddPJ, c.EnergyMulPJ, c.EnergySRAMPJ, c.EnergyDRAMPJ, c.EnergyLinkPJ} {
+		if e < 0 {
+			return fmt.Errorf("%w: negative energy constant", ErrConfig)
+		}
+	}
+	return nil
+}
+
+// DRAMTime returns the seconds needed to stream the given number of
+// bytes through the cube's internal bandwidth.
+func (c Config) DRAMTime(bytes float64) float64 {
+	return bytes / (c.BandwidthGBs * 1e9)
+}
+
+// DRAMEnergy returns the joules consumed by accessing the given number
+// of bytes of cube DRAM (pro-rated per 32-bit word).
+func (c Config) DRAMEnergy(bytes float64) float64 {
+	return bytes / 4 * c.EnergyDRAMPJ * 1e-12
+}
+
+// SRAMEnergy returns the joules for the given number of 32-bit SRAM
+// accesses.
+func (c Config) SRAMEnergy(accesses float64) float64 {
+	return accesses * c.EnergySRAMPJ * 1e-12
+}
+
+// MACEnergy returns the joules for the given number of multiply-
+// accumulate operations (one MULT + one ADD each).
+func (c Config) MACEnergy(macs float64) float64 {
+	return macs * (c.EnergyMulPJ + c.EnergyAddPJ) * 1e-12
+}
+
+// AddEnergy returns the joules for the given number of 32-bit additions
+// (partial-sum accumulation, weight update).
+func (c Config) AddEnergy(adds float64) float64 {
+	return adds * c.EnergyAddPJ * 1e-12
+}
+
+// LinkEnergy returns the joules for moving the given number of bytes
+// across an inter-cube link: SerDes on the wire plus a remote DRAM
+// access on the far end (the paper's remote accesses are reads of the
+// peer cube's memory).
+func (c Config) LinkEnergy(bytes float64) float64 {
+	words := bytes / 4
+	return words * (c.EnergyLinkPJ + c.EnergyDRAMPJ) * 1e-12
+}
+
+// Fits reports whether a working set of the given bytes fits in the
+// cube's capacity.
+func (c Config) Fits(bytes float64) bool {
+	return bytes <= c.CapacityGB*1e9
+}

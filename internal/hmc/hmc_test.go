@@ -1,0 +1,88 @@
+package hmc
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValid(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if c.BandwidthGBs != 320 || c.CapacityGB != 8 {
+		t.Errorf("default HMC = %g GB/s, %g GB; paper says 320 GB/s, 8 GB", c.BandwidthGBs, c.CapacityGB)
+	}
+	if c.EnergyAddPJ != 0.9 || c.EnergyMulPJ != 3.7 || c.EnergySRAMPJ != 5.0 || c.EnergyDRAMPJ != 640 {
+		t.Errorf("energy table diverges from paper §6.1: %+v", c)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []Config{
+		{BandwidthGBs: 0, CapacityGB: 8},
+		{BandwidthGBs: 320, CapacityGB: -1},
+		func() Config { c := Default(); c.EnergyDRAMPJ = -1; return c }(),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); !errors.Is(err, ErrConfig) {
+			t.Errorf("bad config %d accepted: %v", i, err)
+		}
+	}
+}
+
+func TestDRAMTime(t *testing.T) {
+	c := Default()
+	// 320 GB at 320 GB/s is one second.
+	if got := c.DRAMTime(320e9); math.Abs(got-1) > 1e-12 {
+		t.Errorf("DRAMTime(320 GB) = %g s, want 1", got)
+	}
+}
+
+func TestEnergies(t *testing.T) {
+	c := Default()
+	// One million 32-bit DRAM words: 1e6 · 640 pJ = 0.64 mJ.
+	if got := c.DRAMEnergy(4e6); math.Abs(got-0.64e-3) > 1e-12 {
+		t.Errorf("DRAMEnergy = %g J, want 0.64e-3", got)
+	}
+	if got := c.MACEnergy(1e6); math.Abs(got-4.6e-6) > 1e-15 {
+		t.Errorf("MACEnergy = %g J, want 4.6e-6", got)
+	}
+	if got := c.SRAMEnergy(1e6); math.Abs(got-5e-6) > 1e-15 {
+		t.Errorf("SRAMEnergy = %g J, want 5e-6", got)
+	}
+	if got := c.AddEnergy(1e6); math.Abs(got-0.9e-6) > 1e-15 {
+		t.Errorf("AddEnergy = %g J, want 0.9e-6", got)
+	}
+	// Link energy exceeds DRAM energy alone (SerDes + remote access).
+	if c.LinkEnergy(4) <= c.DRAMEnergy(4) {
+		t.Error("link energy should cost more than a local DRAM access")
+	}
+}
+
+func TestFits(t *testing.T) {
+	c := Default()
+	if !c.Fits(7.9e9) {
+		t.Error("7.9 GB should fit in an 8 GB cube")
+	}
+	if c.Fits(8.1e9) {
+		t.Error("8.1 GB should not fit in an 8 GB cube")
+	}
+}
+
+// Property: all energy and time helpers are non-negative and linear.
+func TestLinearityProperty(t *testing.T) {
+	c := Default()
+	prop := func(x uint32) bool {
+		v := float64(x % 1e9)
+		if c.DRAMTime(v) < 0 || c.DRAMEnergy(v) < 0 || c.LinkEnergy(v) < 0 {
+			return false
+		}
+		return math.Abs(c.DRAMEnergy(2*v)-2*c.DRAMEnergy(v)) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,158 @@
+// Package nn provides the deep-neural-network substrate for the HyPar
+// reproduction: weighted-layer specifications, shape inference over a
+// model, MAC/FLOP accounting for the three training phases, and the
+// paper's ten-network model zoo (SFC, SCONV, Lenet-c, Cifar-c, AlexNet
+// and VGG-A/B/C/D/E).
+//
+// Only weighted layers (convolutional and fully-connected) participate in
+// the parallelism decision; pooling and activation are folded into the
+// weighted layer that precedes them, exactly as the paper's Algorithm 1
+// input ("layer type: conv or fc, kernel sizes, parameter for pooling,
+// activation function") prescribes.
+package nn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrModel reports an invalid model or layer specification.
+var ErrModel = errors.New("nn: invalid model")
+
+// LayerType distinguishes the two weighted layer kinds the paper's
+// partition algorithm handles.
+type LayerType int
+
+const (
+	// Conv is a convolutional layer.
+	Conv LayerType = iota
+	// FC is a fully-connected layer.
+	FC
+)
+
+// String implements fmt.Stringer.
+func (t LayerType) String() string {
+	switch t {
+	case Conv:
+		return "conv"
+	case FC:
+		return "fc"
+	default:
+		return fmt.Sprintf("LayerType(%d)", int(t))
+	}
+}
+
+// Activation identifies the element-wise non-linearity applied after a
+// weighted layer. Activations never incur inter-accelerator
+// communication (paper §3.1.1) but contribute to the energy model.
+type Activation int
+
+const (
+	// ReLU rectified linear unit (default for all zoo networks).
+	ReLU Activation = iota
+	// Sigmoid logistic activation.
+	Sigmoid
+	// Tanh hyperbolic tangent.
+	Tanh
+	// Softmax is used by final classifier layers.
+	Softmax
+	// NoAct disables the non-linearity.
+	NoAct
+)
+
+// String implements fmt.Stringer.
+func (a Activation) String() string {
+	switch a {
+	case ReLU:
+		return "relu"
+	case Sigmoid:
+		return "sigmoid"
+	case Tanh:
+		return "tanh"
+	case Softmax:
+		return "softmax"
+	case NoAct:
+		return "none"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+// Layer is the hyper-parameter record HP[l] of Algorithm 1: one weighted
+// layer together with its folded-in pooling and activation.
+type Layer struct {
+	Name string
+	Type LayerType
+
+	// Convolution geometry (ignored for FC layers).
+	K      int // kernel height/width
+	Stride int // convolution stride (defaults to 1)
+	Pad    int // symmetric zero padding
+
+	// Cout is the number of output channels (conv) or neurons (fc).
+	Cout int
+
+	// Pool is the edge of the non-overlapping max-pooling window applied
+	// after the activation; 1 (or 0) means no pooling.
+	Pool int
+
+	Act Activation
+}
+
+// Validate checks the layer's hyper-parameters.
+func (l Layer) Validate() error {
+	if l.Cout <= 0 {
+		return fmt.Errorf("%w: layer %q has Cout=%d", ErrModel, l.Name, l.Cout)
+	}
+	switch l.Type {
+	case Conv:
+		if l.K <= 0 {
+			return fmt.Errorf("%w: conv layer %q has K=%d", ErrModel, l.Name, l.K)
+		}
+		if l.Stride < 0 || l.Pad < 0 {
+			return fmt.Errorf("%w: conv layer %q has stride=%d pad=%d", ErrModel, l.Name, l.Stride, l.Pad)
+		}
+	case FC:
+		if l.K > 1 {
+			return fmt.Errorf("%w: fc layer %q has K=%d", ErrModel, l.Name, l.K)
+		}
+	default:
+		return fmt.Errorf("%w: layer %q has unknown type %v", ErrModel, l.Name, l.Type)
+	}
+	if l.Pool < 0 {
+		return fmt.Errorf("%w: layer %q has Pool=%d", ErrModel, l.Name, l.Pool)
+	}
+	return nil
+}
+
+// stride returns the effective stride (unset means 1).
+func (l Layer) stride() int {
+	if l.Stride <= 0 {
+		return 1
+	}
+	return l.Stride
+}
+
+// pool returns the effective pooling window (unset means 1 = none).
+func (l Layer) pool() int {
+	if l.Pool <= 0 {
+		return 1
+	}
+	return l.Pool
+}
+
+// ConvLayer builds a stride-1 convolutional layer.
+func ConvLayer(name string, k, cout int) Layer {
+	return Layer{Name: name, Type: Conv, K: k, Cout: cout, Act: ReLU}
+}
+
+// ConvPoolLayer builds a stride-1 convolutional layer followed by
+// non-overlapping max pooling with the given window.
+func ConvPoolLayer(name string, k, cout, pool int) Layer {
+	return Layer{Name: name, Type: Conv, K: k, Cout: cout, Pool: pool, Act: ReLU}
+}
+
+// FCLayer builds a fully-connected layer.
+func FCLayer(name string, cout int) Layer {
+	return Layer{Name: name, Type: FC, Cout: cout, Act: ReLU}
+}

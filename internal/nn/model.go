@@ -1,0 +1,151 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Input describes the geometry of one training sample.
+type Input struct {
+	H int // height
+	W int // width
+	C int // channels
+}
+
+// Validate checks the input geometry.
+func (in Input) Validate() error {
+	if in.H <= 0 || in.W <= 0 || in.C <= 0 {
+		return fmt.Errorf("%w: input %dx%dx%d", ErrModel, in.H, in.W, in.C)
+	}
+	return nil
+}
+
+// Model is a feed-forward DNN: an ordered list of weighted layers fed by
+// a single input tensor. All ten zoo networks, and any user network
+// handled by the public API, are Models.
+type Model struct {
+	Name   string
+	Input  Input
+	Layers []Layer
+}
+
+// Validate checks the model and every layer, including that fc layers
+// are only followed by fc layers (the zoo and the paper's networks all
+// satisfy this; shape inference relies on it only for conv geometry).
+func (m *Model) Validate() error {
+	if m == nil {
+		return fmt.Errorf("%w: nil model", ErrModel)
+	}
+	if m.Name == "" {
+		return fmt.Errorf("%w: model without name", ErrModel)
+	}
+	if err := m.Input.Validate(); err != nil {
+		return fmt.Errorf("model %q: %w", m.Name, err)
+	}
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("%w: model %q has no weighted layers", ErrModel, m.Name)
+	}
+	seenFC := false
+	for i, l := range m.Layers {
+		if err := l.Validate(); err != nil {
+			return fmt.Errorf("model %q layer %d: %w", m.Name, i, err)
+		}
+		if l.Type == FC {
+			seenFC = true
+		} else if seenFC {
+			return fmt.Errorf("%w: model %q has conv layer %q after an fc layer", ErrModel, m.Name, l.Name)
+		}
+	}
+	return nil
+}
+
+// NumWeighted returns the number of weighted layers L.
+func (m *Model) NumWeighted() int { return len(m.Layers) }
+
+// LayerShapes captures the inferred tensor geometry of one weighted
+// layer at a given batch size: the input feature map F_l, the immediate
+// (pre-pooling) output F_{l+1}, the tensor handed to the next layer
+// (post-pooling), and the kernel W_l. Errors E_l and E_{l+1} share the
+// geometry of F_l and F_{l+1}.
+type LayerShapes struct {
+	Layer Layer
+
+	In      tensor.FeatureMap // F_l as consumed by this layer
+	Out     tensor.FeatureMap // F_{l+1} immediately after the weighted op
+	Carried tensor.FeatureMap // tensor passed to layer l+1 (after pooling)
+	Kernel  tensor.Kernel     // W_l (∆W_l has the same geometry)
+}
+
+// Shapes runs shape inference over the model for the given batch size.
+// It returns one LayerShapes per weighted layer.
+func (m *Model) Shapes(batch int) ([]LayerShapes, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if batch <= 0 {
+		return nil, fmt.Errorf("%w: model %q batch=%d", ErrModel, m.Name, batch)
+	}
+	shapes := make([]LayerShapes, 0, len(m.Layers))
+	cur := tensor.FeatureMap{B: batch, H: m.Input.H, W: m.Input.W, C: m.Input.C}
+	for i, l := range m.Layers {
+		var s LayerShapes
+		s.Layer = l
+		switch l.Type {
+		case Conv:
+			s.In = cur
+			st := l.stride()
+			oh := (cur.H+2*l.Pad-l.K)/st + 1
+			ow := (cur.W+2*l.Pad-l.K)/st + 1
+			if oh <= 0 || ow <= 0 {
+				return nil, fmt.Errorf("%w: model %q layer %q (%d): conv output %dx%d from input %v",
+					ErrModel, m.Name, l.Name, i, oh, ow, cur)
+			}
+			s.Out = tensor.FeatureMap{B: batch, H: oh, W: ow, C: l.Cout}
+			k, err := tensor.NewConvKernel(l.K, cur.C, l.Cout)
+			if err != nil {
+				return nil, fmt.Errorf("model %q layer %q: %w", m.Name, l.Name, err)
+			}
+			s.Kernel = k
+			p := l.pool()
+			s.Carried = tensor.FeatureMap{B: batch, H: oh / p, W: ow / p, C: l.Cout}
+			if s.Carried.H <= 0 || s.Carried.W <= 0 {
+				return nil, fmt.Errorf("%w: model %q layer %q: pooling %d collapses %dx%d",
+					ErrModel, m.Name, l.Name, p, oh, ow)
+			}
+		case FC:
+			// Flatten whatever arrives into a neuron vector.
+			cin := int(cur.SliceElems())
+			s.In = tensor.FeatureMap{B: batch, H: 1, W: 1, C: cin}
+			s.Out = tensor.FeatureMap{B: batch, H: 1, W: 1, C: l.Cout}
+			s.Carried = s.Out
+			k, err := tensor.NewFCKernel(cin, l.Cout)
+			if err != nil {
+				return nil, fmt.Errorf("model %q layer %q: %w", m.Name, l.Name, err)
+			}
+			s.Kernel = k
+		}
+		shapes = append(shapes, s)
+		cur = s.Carried
+	}
+	return shapes, nil
+}
+
+// Params returns the total number of weights in the model.
+func (m *Model) Params(batch int) (int64, error) {
+	shapes, err := m.Shapes(batch)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, s := range shapes {
+		n += s.Kernel.Elems()
+	}
+	return n, nil
+}
+
+// String implements fmt.Stringer.
+func (m *Model) String() string {
+	return fmt.Sprintf("%s(%d weighted layers, input %dx%dx%d)",
+		m.Name, len(m.Layers), m.Input.H, m.Input.W, m.Input.C)
+}

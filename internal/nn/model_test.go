@@ -1,0 +1,254 @@
+package nn
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestInputValidate(t *testing.T) {
+	if err := (Input{H: 0, W: 1, C: 1}).Validate(); !errors.Is(err, ErrModel) {
+		t.Errorf("zero-height input accepted: %v", err)
+	}
+	if err := MNISTInput.Validate(); err != nil {
+		t.Errorf("MNIST input rejected: %v", err)
+	}
+}
+
+func TestLayerValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		l    Layer
+		ok   bool
+	}{
+		{"good conv", ConvLayer("c", 3, 64), true},
+		{"good fc", FCLayer("f", 100), true},
+		{"zero cout", Layer{Name: "x", Type: Conv, K: 3}, false},
+		{"zero k conv", Layer{Name: "x", Type: Conv, Cout: 8}, false},
+		{"negative pad", Layer{Name: "x", Type: Conv, K: 3, Cout: 8, Pad: -1}, false},
+		{"fc with k", Layer{Name: "x", Type: FC, K: 3, Cout: 8}, false},
+		{"negative pool", Layer{Name: "x", Type: FC, Cout: 8, Pool: -2}, false},
+		{"bad type", Layer{Name: "x", Type: LayerType(9), Cout: 8}, false},
+	}
+	for _, tt := range tests {
+		err := tt.l.Validate()
+		if tt.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tt.name, err)
+		}
+		if !tt.ok && !errors.Is(err, ErrModel) {
+			t.Errorf("%s: want ErrModel, got %v", tt.name, err)
+		}
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	m := &Model{Name: "bad", Input: MNISTInput, Layers: []Layer{
+		FCLayer("fc1", 10),
+		ConvLayer("conv-after-fc", 3, 8),
+	}}
+	if err := m.Validate(); !errors.Is(err, ErrModel) {
+		t.Errorf("conv-after-fc accepted: %v", err)
+	}
+	if err := (&Model{Name: "empty", Input: MNISTInput}).Validate(); !errors.Is(err, ErrModel) {
+		t.Errorf("empty model accepted: %v", err)
+	}
+	var nilModel *Model
+	if err := nilModel.Validate(); !errors.Is(err, ErrModel) {
+		t.Errorf("nil model accepted: %v", err)
+	}
+	if err := (&Model{Input: MNISTInput, Layers: []Layer{FCLayer("f", 1)}}).Validate(); !errors.Is(err, ErrModel) {
+		t.Errorf("nameless model accepted: %v", err)
+	}
+}
+
+func TestShapesBadBatch(t *testing.T) {
+	if _, err := SFC().Shapes(0); !errors.Is(err, ErrModel) {
+		t.Errorf("batch=0 accepted: %v", err)
+	}
+	if _, err := SFC().Shapes(-3); !errors.Is(err, ErrModel) {
+		t.Errorf("batch<0 accepted: %v", err)
+	}
+}
+
+func TestShapesCollapse(t *testing.T) {
+	// A conv that is larger than its input must fail shape inference.
+	m := &Model{Name: "collapse", Input: Input{H: 4, W: 4, C: 1},
+		Layers: []Layer{ConvLayer("huge", 9, 8)}}
+	if _, err := m.Shapes(1); !errors.Is(err, ErrModel) {
+		t.Errorf("oversized conv accepted: %v", err)
+	}
+	// Pooling that collapses the map must fail too.
+	m2 := &Model{Name: "pool-collapse", Input: Input{H: 4, W: 4, C: 1},
+		Layers: []Layer{ConvPoolLayer("c", 3, 8, 4)}}
+	if _, err := m2.Shapes(1); !errors.Is(err, ErrModel) {
+		t.Errorf("collapsing pool accepted: %v", err)
+	}
+}
+
+// TestLenetShapes pins the classic Lenet geometry end to end.
+func TestLenetShapes(t *testing.T) {
+	shapes, err := LenetC().Shapes(256)
+	if err != nil {
+		t.Fatalf("Shapes: %v", err)
+	}
+	if len(shapes) != 4 {
+		t.Fatalf("Lenet-c has %d weighted layers, want 4", len(shapes))
+	}
+	// conv1: 28 → 24, pool → 12
+	if s := shapes[0]; s.Out.H != 24 || s.Carried.H != 12 || s.Out.C != 20 {
+		t.Errorf("conv1 shapes: out %v carried %v", s.Out, s.Carried)
+	}
+	// conv2: 12 → 8, pool → 4
+	if s := shapes[1]; s.Out.H != 8 || s.Carried.H != 4 || s.Out.C != 50 {
+		t.Errorf("conv2 shapes: out %v carried %v", s.Out, s.Carried)
+	}
+	// fc1 consumes the flattened 4·4·50 = 800 vector.
+	if s := shapes[2]; s.Kernel.Cin != 800 || s.Kernel.Cout != 500 {
+		t.Errorf("fc1 kernel: %v", s.Kernel)
+	}
+	if s := shapes[3]; s.Kernel.Cin != 500 || s.Kernel.Cout != 10 {
+		t.Errorf("fc2 kernel: %v", s.Kernel)
+	}
+}
+
+func TestSCONVShapes(t *testing.T) {
+	shapes, err := SCONV().Shapes(32)
+	if err != nil {
+		t.Fatalf("Shapes: %v", err)
+	}
+	want := []struct{ h, c int }{{24, 20}, {20, 50}, {6, 50}, {2, 10}}
+	for i, w := range want {
+		if shapes[i].Out.H != w.h || shapes[i].Out.C != w.c {
+			t.Errorf("SCONV layer %d out = %v, want H=%d C=%d", i, shapes[i].Out, w.h, w.c)
+		}
+	}
+	// Final pooled map is 1×1×10: a valid 10-class head.
+	last := shapes[3].Carried
+	if last.H != 1 || last.W != 1 || last.C != 10 {
+		t.Errorf("SCONV head = %v, want 1×1×10", last)
+	}
+}
+
+func TestAlexNetShapes(t *testing.T) {
+	shapes, err := AlexNet().Shapes(256)
+	if err != nil {
+		t.Fatalf("Shapes: %v", err)
+	}
+	if len(shapes) != 8 {
+		t.Fatalf("AlexNet has %d weighted layers, want 8", len(shapes))
+	}
+	if s := shapes[0]; s.Out.H != 55 || s.Carried.H != 27 {
+		t.Errorf("conv1: out %v carried %v", s.Out, s.Carried)
+	}
+	if s := shapes[4]; s.Carried.H != 6 || s.Carried.C != 256 {
+		t.Errorf("conv5 carried: %v", s.Carried)
+	}
+	if s := shapes[5]; s.Kernel.Cin != 9216 {
+		t.Errorf("fc1 Cin = %d, want 9216", s.Kernel.Cin)
+	}
+}
+
+func TestVGGShapes(t *testing.T) {
+	counts := map[string]int{
+		"VGG-A": 11, "VGG-B": 13, "VGG-C": 16, "VGG-D": 16, "VGG-E": 19,
+	}
+	for name, want := range counts {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		if got := m.NumWeighted(); got != want {
+			t.Errorf("%s weighted layers = %d, want %d", name, got, want)
+		}
+		shapes, err := m.Shapes(2)
+		if err != nil {
+			t.Fatalf("%s Shapes: %v", name, err)
+		}
+		// All VGGs end their conv stack at 7×7×512 and fc1 consumes 25088.
+		var fc1 *LayerShapes
+		for i := range shapes {
+			if shapes[i].Layer.Name == "fc1" {
+				fc1 = &shapes[i]
+				break
+			}
+		}
+		if fc1 == nil {
+			t.Fatalf("%s has no fc1", name)
+		}
+		if fc1.Kernel.Cin != 25088 {
+			t.Errorf("%s fc1 Cin = %d, want 25088", name, fc1.Kernel.Cin)
+		}
+	}
+	// VGG-D (VGG-16) parameter count is the well-known ≈138M.
+	p, err := VGGD().Params(1)
+	if err != nil {
+		t.Fatalf("Params: %v", err)
+	}
+	if p < 135e6 || p > 141e6 {
+		t.Errorf("VGG-D params = %d, want ≈138M", p)
+	}
+	// VGG-C's 1×1 stage tails must really be 1×1.
+	cshapes, _ := VGGC().Shapes(1)
+	for _, s := range cshapes {
+		switch s.Layer.Name {
+		case "conv3_3", "conv4_3", "conv5_3":
+			if s.Kernel.K != 1 {
+				t.Errorf("VGG-C %s K = %d, want 1", s.Layer.Name, s.Kernel.K)
+			}
+		}
+	}
+}
+
+func TestZooValid(t *testing.T) {
+	zoo := Zoo()
+	if len(zoo) != 10 {
+		t.Fatalf("zoo size = %d, want 10", len(zoo))
+	}
+	minL, maxL := 1<<30, 0
+	for _, m := range zoo {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", m.Name, err)
+		}
+		if _, err := m.Shapes(256); err != nil {
+			t.Errorf("%s shapes at B=256: %v", m.Name, err)
+		}
+		if n := m.NumWeighted(); n < minL {
+			minL = n
+		} else if n > maxL {
+			maxL = n
+		}
+		if m.String() == "" {
+			t.Errorf("%s has empty String()", m.Name)
+		}
+	}
+	// Paper: "the number of weighted layers of these models range from
+	// four to nineteen".
+	if minL != 4 || maxL != 19 {
+		t.Errorf("weighted layer range = [%d,%d], want [4,19]", minL, maxL)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("ResNet-50"); !errors.Is(err, ErrModel) {
+		t.Errorf("unknown model lookup: %v", err)
+	}
+}
+
+func TestSFCTable3(t *testing.T) {
+	// Table 3: SFC is 784-8192-8192-8192-10.
+	shapes, err := SFC().Shapes(256)
+	if err != nil {
+		t.Fatalf("Shapes: %v", err)
+	}
+	dims := []struct{ cin, cout int }{
+		{784, 8192}, {8192, 8192}, {8192, 8192}, {8192, 10},
+	}
+	for i, d := range dims {
+		k := shapes[i].Kernel
+		if k.Cin != d.cin || k.Cout != d.cout {
+			t.Errorf("SFC layer %d kernel = %v, want %d×%d", i, k, d.cin, d.cout)
+		}
+		if !k.FC {
+			t.Errorf("SFC layer %d is not fc", i)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package nn
+
+import "fmt"
+
+// Input geometries of the paper's three datasets (§6.1). Only the shape
+// matters for communication, performance and energy; synthetic batches
+// of these geometries exercise exactly the code paths the paper's
+// MNIST/CIFAR-10/ImageNet runs exercised.
+var (
+	// MNISTInput is a 28×28 grayscale digit.
+	MNISTInput = Input{H: 28, W: 28, C: 1}
+	// CIFARInput is a 32×32 RGB image.
+	CIFARInput = Input{H: 32, W: 32, C: 3}
+	// ImageNetInput is the 224×224 RGB crop used by the VGG family.
+	ImageNetInput = Input{H: 224, W: 224, C: 3}
+	// AlexNetInput is the 227×227 RGB crop AlexNet's stride-4 first
+	// layer expects.
+	AlexNetInput = Input{H: 227, W: 227, C: 3}
+)
+
+// SFC is the paper's all-fully-connected extreme case (Table 3):
+// 784-8192-8192-8192-10 on MNIST. Four weighted layers.
+func SFC() *Model {
+	return &Model{
+		Name:  "SFC",
+		Input: MNISTInput,
+		Layers: []Layer{
+			FCLayer("fc1", 8192),
+			FCLayer("fc2", 8192),
+			FCLayer("fc3", 8192),
+			{Name: "fc4", Type: FC, Cout: 10, Act: Softmax},
+		},
+	}
+}
+
+// SCONV is the paper's all-convolutional extreme case (Table 3):
+// 20@5×5, 50@5×5 (2×2 max pool), 50@5×5, 10@5×5 (2×2 max pool) on
+// MNIST. Four weighted layers.
+func SCONV() *Model {
+	return &Model{
+		Name:  "SCONV",
+		Input: MNISTInput,
+		Layers: []Layer{
+			ConvLayer("conv1", 5, 20),
+			ConvPoolLayer("conv2", 5, 50, 2),
+			ConvLayer("conv3", 5, 50),
+			{Name: "conv4", Type: Conv, K: 5, Cout: 10, Pool: 2, Act: Softmax},
+		},
+	}
+}
+
+// LenetC is the convolutional MNIST network (Figure 5c): conv1, conv2,
+// fc1, fc2 — four weighted layers.
+func LenetC() *Model {
+	return &Model{
+		Name:  "Lenet-c",
+		Input: MNISTInput,
+		Layers: []Layer{
+			ConvPoolLayer("conv1", 5, 20, 2),
+			ConvPoolLayer("conv2", 5, 50, 2),
+			FCLayer("fc1", 500),
+			{Name: "fc2", Type: FC, Cout: 10, Act: Softmax},
+		},
+	}
+}
+
+// CifarC is the CIFAR-10 network (Figure 5d): conv1-conv3 plus fc1, fc2
+// — five weighted layers (cuda-convnet's cifar10_quick geometry).
+func CifarC() *Model {
+	return &Model{
+		Name:  "Cifar-c",
+		Input: CIFARInput,
+		Layers: []Layer{
+			{Name: "conv1", Type: Conv, K: 5, Pad: 2, Cout: 32, Pool: 2, Act: ReLU},
+			{Name: "conv2", Type: Conv, K: 5, Pad: 2, Cout: 32, Pool: 2, Act: ReLU},
+			{Name: "conv3", Type: Conv, K: 5, Pad: 2, Cout: 64, Pool: 2, Act: ReLU},
+			FCLayer("fc1", 64),
+			{Name: "fc2", Type: FC, Cout: 10, Act: Softmax},
+		},
+	}
+}
+
+// AlexNet is the eight-weighted-layer ImageNet network of [6]
+// (Figure 5e): five convolutions and three fully-connected layers.
+// Grouped convolutions and LRN do not affect the communication model
+// and are modeled as their dense equivalents.
+func AlexNet() *Model {
+	return &Model{
+		Name:  "AlexNet",
+		Input: AlexNetInput,
+		Layers: []Layer{
+			{Name: "conv1", Type: Conv, K: 11, Stride: 4, Cout: 96, Pool: 2, Act: ReLU},
+			{Name: "conv2", Type: Conv, K: 5, Pad: 2, Cout: 256, Pool: 2, Act: ReLU},
+			{Name: "conv3", Type: Conv, K: 3, Pad: 1, Cout: 384, Act: ReLU},
+			{Name: "conv4", Type: Conv, K: 3, Pad: 1, Cout: 384, Act: ReLU},
+			{Name: "conv5", Type: Conv, K: 3, Pad: 1, Cout: 256, Pool: 2, Act: ReLU},
+			FCLayer("fc1", 4096),
+			FCLayer("fc2", 4096),
+			{Name: "fc3", Type: FC, Cout: 1000, Act: Softmax},
+		},
+	}
+}
+
+// vgg assembles a VGG-family network from per-stage convolution counts.
+// kernel1x1Last marks stages whose final convolution uses a 1×1 kernel
+// (configuration C of [105]).
+func vgg(name string, stages [5][]int, oneByOne map[string]bool) *Model {
+	chans := [5]int{64, 128, 256, 512, 512}
+	m := &Model{Name: name, Input: ImageNetInput}
+	for si, stage := range stages {
+		for ci := range stage {
+			ln := fmt.Sprintf("conv%d_%d", si+1, ci+1)
+			k := 3
+			pad := 1
+			if oneByOne[ln] {
+				k, pad = 1, 0
+			}
+			l := Layer{Name: ln, Type: Conv, K: k, Pad: pad, Cout: chans[si], Act: ReLU}
+			if ci == len(stage)-1 {
+				l.Pool = 2
+			}
+			m.Layers = append(m.Layers, l)
+		}
+	}
+	m.Layers = append(m.Layers,
+		FCLayer("fc1", 4096),
+		FCLayer("fc2", 4096),
+		Layer{Name: "fc3", Type: FC, Cout: 1000, Act: Softmax},
+	)
+	return m
+}
+
+// one-element helper stages
+var (
+	one = []int{1}
+	two = []int{1, 2}
+	tri = []int{1, 2, 3}
+	qua = []int{1, 2, 3, 4}
+)
+
+// VGGA is VGG configuration A: 8 conv + 3 fc = 11 weighted layers.
+func VGGA() *Model {
+	return vgg("VGG-A", [5][]int{one, one, two, two, two}, nil)
+}
+
+// VGGB is VGG configuration B: 10 conv + 3 fc = 13 weighted layers.
+func VGGB() *Model {
+	return vgg("VGG-B", [5][]int{two, two, two, two, two}, nil)
+}
+
+// VGGC is VGG configuration C: 13 conv + 3 fc = 16 weighted layers,
+// where the third convolution of stages 3-5 uses a 1×1 kernel.
+func VGGC() *Model {
+	return vgg("VGG-C", [5][]int{two, two, tri, tri, tri},
+		map[string]bool{"conv3_3": true, "conv4_3": true, "conv5_3": true})
+}
+
+// VGGD is VGG configuration D (VGG-16): 13 conv + 3 fc = 16 weighted
+// layers, all 3×3.
+func VGGD() *Model {
+	return vgg("VGG-D", [5][]int{two, two, tri, tri, tri}, nil)
+}
+
+// VGGE is VGG configuration E (VGG-19): 16 conv + 3 fc = 19 weighted
+// layers.
+func VGGE() *Model {
+	return vgg("VGG-E", [5][]int{two, two, qua, qua, qua}, nil)
+}
+
+// Zoo returns the paper's ten evaluation networks in Figure 5 order.
+func Zoo() []*Model {
+	return []*Model{
+		SFC(), SCONV(), LenetC(), CifarC(), AlexNet(),
+		VGGA(), VGGB(), VGGC(), VGGD(), VGGE(),
+	}
+}
+
+// ByName returns the zoo network with the given name.
+func ByName(name string) (*Model, error) {
+	for _, m := range Zoo() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: unknown zoo model %q", ErrModel, name)
+}

@@ -1,0 +1,103 @@
+package partition
+
+import "repro/internal/comm"
+
+// TwoWay is Algorithm 1: partition between two accelerator groups. It
+// takes the per-layer sharded tensor amounts (already reflecting the
+// hierarchy levels above this one) and returns the minimum total
+// one-direction communication together with the optimal parallelism per
+// layer. Time complexity is O(L).
+//
+// The recurrence (paper §4.1):
+//
+//	com_dp[l] = min(com_dp[l-1] + inter(dp,dp), com_mp[l-1] + inter(mp,dp)) + intra_dp(l)
+//	com_mp[l] = min(com_dp[l-1] + inter(dp,mp), com_mp[l-1] + inter(mp,mp)) + intra_mp(l)
+//
+// where inter terms are evaluated on the boundary tensors F_l / E_l
+// produced by layer l-1.
+func TwoWay(amounts []comm.LayerAmounts) (float64, Assignment) {
+	return twoWayWith(amounts, trainingCosts)
+}
+
+// twoWayWith runs Algorithm 1 under an arbitrary cost model.
+func twoWayWith(amounts []comm.LayerAmounts, c costs) (float64, Assignment) {
+	l := len(amounts)
+	if l == 0 {
+		return 0, nil
+	}
+	inter := func(prev, cur comm.Parallelism, a comm.LayerAmounts) float64 {
+		return c.interF(prev, cur, a) + c.interE(prev, cur, a)
+	}
+
+	// comDP/comMP hold the best accumulated cost with layer l ending in
+	// dp/mp; fromDP records which predecessor achieved it (traceback).
+	comDP := make([]float64, l)
+	comMP := make([]float64, l)
+	dpFromDP := make([]bool, l)
+	mpFromDP := make([]bool, l)
+
+	comDP[0] = c.intra(comm.DP, amounts[0])
+	comMP[0] = c.intra(comm.MP, amounts[0])
+
+	for i := 1; i < l; i++ {
+		bound := amounts[i-1] // F_l and E_l live on the l-1 / l boundary
+
+		viaDP := comDP[i-1] + inter(comm.DP, comm.DP, bound)
+		viaMP := comMP[i-1] + inter(comm.MP, comm.DP, bound)
+		if viaDP <= viaMP {
+			comDP[i] = viaDP
+			dpFromDP[i] = true
+		} else {
+			comDP[i] = viaMP
+		}
+		comDP[i] += c.intra(comm.DP, amounts[i])
+
+		viaDP = comDP[i-1] + inter(comm.DP, comm.MP, bound)
+		viaMP = comMP[i-1] + inter(comm.MP, comm.MP, bound)
+		if viaDP <= viaMP {
+			comMP[i] = viaDP
+			mpFromDP[i] = true
+		} else {
+			comMP[i] = viaMP
+		}
+		comMP[i] += c.intra(comm.MP, amounts[i])
+	}
+
+	assign := make(Assignment, l)
+	var best float64
+	if comDP[l-1] <= comMP[l-1] {
+		best = comDP[l-1]
+		assign[l-1] = comm.DP
+	} else {
+		best = comMP[l-1]
+		assign[l-1] = comm.MP
+	}
+	for i := l - 1; i > 0; i-- {
+		var fromDP bool
+		if assign[i] == comm.DP {
+			fromDP = dpFromDP[i]
+		} else {
+			fromDP = mpFromDP[i]
+		}
+		if fromDP {
+			assign[i-1] = comm.DP
+		} else {
+			assign[i-1] = comm.MP
+		}
+	}
+	return best, assign
+}
+
+// AssignmentCost evaluates the Algorithm 1 objective for a fixed
+// assignment on the given amounts (used by the brute-force reference
+// and the space exploration).
+func AssignmentCost(amounts []comm.LayerAmounts, a Assignment) float64 {
+	var total float64
+	for i := range amounts {
+		total += comm.Intra(a[i], amounts[i])
+		if i > 0 {
+			total += comm.Inter(a[i-1], a[i], amounts[i-1])
+		}
+	}
+	return total
+}

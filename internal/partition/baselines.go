@@ -1,0 +1,51 @@
+package partition
+
+import (
+	"repro/internal/comm"
+	"repro/internal/nn"
+)
+
+// DataParallel returns the default Data Parallelism baseline: every
+// layer at every hierarchy level in data parallelism.
+func DataParallel(m *nn.Model, batch, levels int) (*Plan, error) {
+	return uniformPlan(m, batch, levels, comm.DP)
+}
+
+// ModelParallel returns the default Model Parallelism baseline: every
+// layer at every hierarchy level in model parallelism.
+func ModelParallel(m *nn.Model, batch, levels int) (*Plan, error) {
+	return uniformPlan(m, batch, levels, comm.MP)
+}
+
+func uniformPlan(m *nn.Model, batch, levels int, p comm.Parallelism) (*Plan, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	assigns := make([]Assignment, levels)
+	for h := range assigns {
+		assigns[h] = Uniform(len(m.Layers), p)
+	}
+	return Evaluate(m, batch, assigns)
+}
+
+// OneWeirdTrick returns Krizhevsky's empirical configuration [111]:
+// convolutional layers in data parallelism and fully-connected layers
+// in model parallelism, at every hierarchy level.
+func OneWeirdTrick(m *nn.Model, batch, levels int) (*Plan, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	a := make(Assignment, len(m.Layers))
+	for l, layer := range m.Layers {
+		if layer.Type == nn.FC {
+			a[l] = comm.MP
+		} else {
+			a[l] = comm.DP
+		}
+	}
+	assigns := make([]Assignment, levels)
+	for h := range assigns {
+		assigns[h] = a.Clone()
+	}
+	return Evaluate(m, batch, assigns)
+}

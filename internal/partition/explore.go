@@ -1,0 +1,100 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/nn"
+)
+
+// BruteForce exhaustively enumerates every hierarchical assignment of
+// the model's layers over the given number of levels and returns the
+// plan with minimum total communication. The search space is
+// 2^(levels·L): it exists as the exactness reference for tests and the
+// small explorations of §6.3 — Algorithm 1/2 is the practical path.
+func BruteForce(m *nn.Model, batch, levels int) (*Plan, error) {
+	shapes, err := prepare(m, batch, levels)
+	if err != nil {
+		return nil, err
+	}
+	nl := len(shapes)
+	bits := levels * nl
+	if bits > 24 {
+		return nil, fmt.Errorf("%w: brute force over 2^%d assignments", ErrPlan, bits)
+	}
+
+	var best *Plan
+	assigns := make([]Assignment, levels)
+	for h := range assigns {
+		assigns[h] = make(Assignment, nl)
+	}
+	for code := 0; code < 1<<uint(bits); code++ {
+		for b := 0; b < bits; b++ {
+			p := comm.DP
+			if code&(1<<uint(b)) != 0 {
+				p = comm.MP
+			}
+			assigns[b/nl][b%nl] = p
+		}
+		plan, err := Evaluate(m, batch, assigns)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || plan.TotalElems < best.TotalElems {
+			best = plan
+		}
+	}
+	return best, nil
+}
+
+// FreeVar identifies one (hierarchy level, layer) cell whose parallelism
+// an exploration enumerates while all other cells stay fixed.
+type FreeVar struct {
+	Level int
+	Layer int
+}
+
+// ExplorePoint is one sample of a parallelism-space exploration.
+type ExplorePoint struct {
+	// Code enumerates the free variables: bit i (LSB first) is the
+	// choice of Free[i] (0 = dp, 1 = mp).
+	Code int
+	Plan *Plan
+}
+
+// Explore enumerates all 2^len(free) settings of the free cells on top
+// of the base assignment, evaluating each (Figures 9 and 10: the fixed
+// cells come from the HyPar-optimized plan, the free cells sweep).
+func Explore(m *nn.Model, batch int, base []Assignment, free []FreeVar) ([]ExplorePoint, error) {
+	if len(free) > 20 {
+		return nil, fmt.Errorf("%w: exploring 2^%d points", ErrPlan, len(free))
+	}
+	for _, fv := range free {
+		if fv.Level < 0 || fv.Level >= len(base) {
+			return nil, fmt.Errorf("%w: free variable level %d out of range", ErrPlan, fv.Level)
+		}
+		if fv.Layer < 0 || fv.Layer >= len(base[fv.Level]) {
+			return nil, fmt.Errorf("%w: free variable layer %d out of range", ErrPlan, fv.Layer)
+		}
+	}
+	work := make([]Assignment, len(base))
+	for h := range base {
+		work[h] = base[h].Clone()
+	}
+	points := make([]ExplorePoint, 0, 1<<uint(len(free)))
+	for code := 0; code < 1<<uint(len(free)); code++ {
+		for i, fv := range free {
+			p := comm.DP
+			if code&(1<<uint(i)) != 0 {
+				p = comm.MP
+			}
+			work[fv.Level][fv.Layer] = p
+		}
+		plan, err := Evaluate(m, batch, work)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, ExplorePoint{Code: code, Plan: plan})
+	}
+	return points, nil
+}

@@ -1,0 +1,112 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Hierarchical is Algorithm 2: it partitions a 2^H accelerator array by
+// running Algorithm 1 at every hierarchy level, halving each layer's
+// tensors between levels according to the level's choice (dp halves the
+// batch; mp halves the kernel input dimension). The total communication
+// follows the paper's recursion com = com_h + 2·com_n, i.e. level h's
+// per-pair volume is counted once per group pair (2^h pairs).
+func Hierarchical(m *nn.Model, batch, levels int) (*Plan, error) {
+	return hierarchicalWith(m, batch, levels, trainingCosts)
+}
+
+// Evaluate computes the communication volumes of an arbitrary
+// hierarchical assignment (one Assignment per level) for the model. It
+// is the reference evaluator used by the brute-force search, the
+// baselines, and the Figure 9/10 space exploration; Hierarchical's own
+// totals agree with it (tested).
+func Evaluate(m *nn.Model, batch int, levels []Assignment) (*Plan, error) {
+	shapes, err := prepare(m, batch, len(levels))
+	if err != nil {
+		return nil, err
+	}
+	for h, a := range levels {
+		if len(a) != len(shapes) {
+			return nil, fmt.Errorf("%w: level %d has %d choices, model %q has %d layers",
+				ErrPlan, h, len(a), m.Name, len(shapes))
+		}
+	}
+	plan := &Plan{Model: m.Name, Batch: batch, Levels: make([]Assignment, len(levels))}
+	for h := range levels {
+		plan.Levels[h] = levels[h].Clone()
+	}
+	fillDetails(plan, shapes)
+	return plan, nil
+}
+
+// prepare validates the request and runs shape inference.
+func prepare(m *nn.Model, batch, levels int) ([]nn.LayerShapes, error) {
+	if levels < 0 {
+		return nil, fmt.Errorf("%w: negative hierarchy depth %d", ErrPlan, levels)
+	}
+	if levels > 20 {
+		return nil, fmt.Errorf("%w: hierarchy depth %d (2^%d accelerators) is unreasonable",
+			ErrPlan, levels, levels)
+	}
+	shapes, err := m.Shapes(batch)
+	if err != nil {
+		return nil, err
+	}
+	return shapes, nil
+}
+
+// amountsAt derives the per-pair amounts of every layer under the given
+// shard states.
+func amountsAt(shapes []nn.LayerShapes, shards []tensor.Shard) []comm.LayerAmounts {
+	amounts := make([]comm.LayerAmounts, len(shapes))
+	for l := range shapes {
+		amounts[l] = comm.Amounts(shapes[l], shards[l])
+	}
+	return amounts
+}
+
+// fillDetails populates plan.Details and plan.TotalElems from the
+// plan's level assignments, threading shard state down the hierarchy.
+func fillDetails(plan *Plan, shapes []nn.LayerShapes) {
+	fillDetailsWith(plan, shapes, trainingCosts)
+}
+
+// fillDetailsWith is fillDetails under an arbitrary cost model.
+func fillDetailsWith(plan *Plan, shapes []nn.LayerShapes, c costs) {
+	nl := len(shapes)
+	shards := make([]tensor.Shard, nl)
+	plan.Details = make([]LevelDetail, len(plan.Levels))
+	plan.TotalElems = 0
+
+	for h, assign := range plan.Levels {
+		amounts := amountsAt(shapes, shards)
+		d := LevelDetail{
+			IntraFwd:  make([]float64, nl),
+			IntraGrad: make([]float64, nl),
+			InterF:    make([]float64, nl),
+			InterE:    make([]float64, nl),
+		}
+		for l := 0; l < nl; l++ {
+			switch assign[l] {
+			case comm.MP:
+				d.IntraFwd[l] = c.intra(comm.MP, amounts[l])
+			default:
+				d.IntraGrad[l] = c.intra(comm.DP, amounts[l])
+			}
+			if l+1 < nl {
+				d.InterF[l] = c.interF(assign[l], assign[l+1], amounts[l])
+				d.InterE[l] = c.interE(assign[l], assign[l+1], amounts[l])
+			}
+		}
+		plan.Details[h] = d
+		pairs := float64(int64(1) << uint(h))
+		plan.TotalElems += pairs * d.PerPairElems()
+
+		for l := range shards {
+			shards[l] = shards[l].Apply(assign[l] == comm.DP)
+		}
+	}
+}

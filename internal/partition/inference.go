@@ -1,0 +1,65 @@
+package partition
+
+import (
+	"repro/internal/comm"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// costs abstracts the objective of the layer-wise dynamic program so
+// the same search runs for training (Tables 1-2) and inference.
+type costs struct {
+	intra  func(p comm.Parallelism, a comm.LayerAmounts) float64
+	interF func(prev, cur comm.Parallelism, a comm.LayerAmounts) float64
+	interE func(prev, cur comm.Parallelism, a comm.LayerAmounts) float64
+}
+
+// trainingCosts is the paper's full model.
+var trainingCosts = costs{
+	intra:  comm.Intra,
+	interF: comm.InterF,
+	interE: comm.InterE,
+}
+
+// inferenceCosts drops everything gradients and errors cause: dp incurs
+// no intra-layer exchange (there is no ∆W), and no E tensors flow
+// backward. Only mp's output partial sums and the forward F conversions
+// remain — which is why §3.3 observes that inference always optimizes
+// to pure Data Parallelism (both of its cost sources are zero).
+var inferenceCosts = costs{
+	intra: func(p comm.Parallelism, a comm.LayerAmounts) float64 {
+		if p == comm.MP {
+			return a.FOut
+		}
+		return 0
+	},
+	interF: comm.InterF,
+	interE: func(prev, cur comm.Parallelism, a comm.LayerAmounts) float64 { return 0 },
+}
+
+// HierarchicalInference runs the partition search with the inference
+// cost model (forward pass only, no gradient or error communication).
+func HierarchicalInference(m *nn.Model, batch, levels int) (*Plan, error) {
+	return hierarchicalWith(m, batch, levels, inferenceCosts)
+}
+
+// hierarchicalWith is Hierarchical parameterized by the cost model.
+func hierarchicalWith(m *nn.Model, batch, levels int, c costs) (*Plan, error) {
+	shapes, err := prepare(m, batch, levels)
+	if err != nil {
+		return nil, err
+	}
+	nl := len(shapes)
+	plan := &Plan{Model: m.Name, Batch: batch, Levels: make([]Assignment, 0, levels)}
+	shards := make([]tensor.Shard, nl)
+	for h := 0; h < levels; h++ {
+		amounts := amountsAt(shapes, shards)
+		_, assign := twoWayWith(amounts, c)
+		plan.Levels = append(plan.Levels, assign)
+		for l := range shards {
+			shards[l] = shards[l].Apply(assign[l] == comm.DP)
+		}
+	}
+	fillDetailsWith(plan, shapes, c)
+	return plan, nil
+}

@@ -1,0 +1,143 @@
+// Package partition implements HyPar's partition search: Algorithm 1
+// (the layer-wise dynamic program that chooses data or model parallelism
+// for every weighted layer between two accelerator groups, O(L) time)
+// and Algorithm 2 (the hierarchical recursion that applies Algorithm 1
+// at every level of a 2^H accelerator array, com = com_h + 2·com_n).
+//
+// The package also provides plan evaluation for arbitrary assignments
+// (used by the brute-force reference, the parallelism-space exploration
+// of Figures 9 and 10, and the published baselines: Data Parallelism,
+// Model Parallelism and Krizhevsky's "one weird trick").
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/tensor"
+)
+
+// ErrPlan reports an invalid partition request or assignment.
+var ErrPlan = errors.New("partition: invalid plan")
+
+// Assignment is one hierarchy level's parallelism choice per weighted
+// layer: P[l] in Algorithm 1.
+type Assignment []comm.Parallelism
+
+// String renders the assignment in the 0/1 notation of Figures 9-10.
+func (a Assignment) String() string {
+	var b strings.Builder
+	for _, p := range a {
+		b.WriteByte(p.Mark())
+	}
+	return b.String()
+}
+
+// Clone returns a deep copy.
+func (a Assignment) Clone() Assignment {
+	c := make(Assignment, len(a))
+	copy(c, a)
+	return c
+}
+
+// Uniform returns an assignment with every layer set to p.
+func Uniform(layers int, p comm.Parallelism) Assignment {
+	a := make(Assignment, layers)
+	for i := range a {
+		a[i] = p
+	}
+	return a
+}
+
+// LevelDetail records, for one hierarchy level, the one-direction
+// per-group-pair communication volumes in elements, attributed to the
+// training phase that incurs them. The simulator schedules transfers
+// from these.
+type LevelDetail struct {
+	// IntraFwd[l] is the mp partial-sum exchange of F_{l+1} (forward).
+	IntraFwd []float64
+	// IntraGrad[l] is the dp gradient exchange of ∆W_l (gradient phase).
+	IntraGrad []float64
+	// InterF[l] is the F_{l+1} conversion between l and l+1 (forward).
+	InterF []float64
+	// InterE[l] is the E_{l+1} conversion between l and l+1 (backward).
+	InterE []float64
+}
+
+// PerPairElems returns the level's total one-direction elements for one
+// group pair.
+func (d *LevelDetail) PerPairElems() float64 {
+	var t float64
+	for l := range d.IntraFwd {
+		t += d.IntraFwd[l] + d.IntraGrad[l] + d.InterF[l] + d.InterE[l]
+	}
+	return t
+}
+
+// Plan is a complete hierarchical partition: one Assignment per level
+// (level 0 splits the whole array in two; level H-1 splits pairs of
+// accelerators), together with the communication volumes the plan
+// incurs.
+type Plan struct {
+	Model  string
+	Batch  int
+	Levels []Assignment
+
+	// Details[h] holds the per-pair volumes of level h.
+	Details []LevelDetail
+
+	// TotalElems is the array-wide one-direction element total:
+	// Σ_h 2^h · perPair(h) — Algorithm 2's com = com_h + 2·com_n.
+	TotalElems float64
+}
+
+// NumLevels returns the hierarchy depth H.
+func (p *Plan) NumLevels() int { return len(p.Levels) }
+
+// NumAccelerators returns 2^H.
+func (p *Plan) NumAccelerators() int { return 1 << uint(len(p.Levels)) }
+
+// TotalBytes returns the paper's both-direction byte total for the plan
+// (the quantity of Figure 8).
+func (p *Plan) TotalBytes(d tensor.DType) float64 {
+	return comm.ExchangedBytes(p.TotalElems, d)
+}
+
+// At returns the parallelism of layer l at level h.
+func (p *Plan) At(h, l int) comm.Parallelism { return p.Levels[h][l] }
+
+// LayerString renders one layer's choices across levels, H1 first, in
+// the 0/1 notation of Figures 9-10 (e.g. "0001" = dp,dp,dp,mp).
+func (p *Plan) LayerString(l int) string {
+	var b strings.Builder
+	for h := range p.Levels {
+		b.WriteByte(p.Levels[h][l].Mark())
+	}
+	return b.String()
+}
+
+// Validate checks structural consistency of the plan. A plan with zero
+// levels is valid: it describes a single accelerator with no partition
+// and no communication.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return fmt.Errorf("%w: nil plan", ErrPlan)
+	}
+	if len(p.Levels) == 0 {
+		return nil
+	}
+	l := len(p.Levels[0])
+	for h, a := range p.Levels {
+		if len(a) != l {
+			return fmt.Errorf("%w: level %d has %d layers, want %d", ErrPlan, h, len(a), l)
+		}
+		for i, c := range a {
+			if c != comm.DP && c != comm.MP {
+				return fmt.Errorf("%w: level %d layer %d has parallelism %d", ErrPlan, h, i, c)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+// Package report renders experiment results as fixed-width text tables
+// and CSV, so the cmd/hypar experiment runners and the benchmark
+// harness print the same rows the paper's tables and figures report.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ErrTable reports a malformed table.
+var ErrTable = errors.New("report: invalid table")
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row of cells, formatting each with %v.
+func (t *Table) AddRow(cells ...interface{}) error {
+	if len(cells) != len(t.Columns) {
+		return fmt.Errorf("%w: row has %d cells, table has %d columns", ErrTable, len(cells), len(t.Columns))
+	}
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return nil
+}
+
+// formatFloat renders floats compactly: large magnitudes with three
+// significant decimals, small ones in scientific notation.
+func formatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av == 0:
+		return "0"
+	case av >= 1e6 || av < 1e-3:
+		return fmt.Sprintf("%.3e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "## %s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := line(t.Columns); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if err := line(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the table as RFC-4180-ish CSV (cells containing
+// commas or quotes are quoted).
+func (t *Table) WriteCSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cols := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = esc(c)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		cells := make([]string, len(r))
+		for i, c := range r {
+			cells[i] = esc(c)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the text form.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.WriteText(&b); err != nil {
+		return fmt.Sprintf("report: %v", err)
+	}
+	return b.String()
+}

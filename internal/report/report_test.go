@@ -1,0 +1,112 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tb := NewTable("Fig X", "net", "gain")
+	if err := tb.AddRow("VGG-A", 3.27); err != nil {
+		t.Fatalf("AddRow: %v", err)
+	}
+	if err := tb.AddRow("SFC", 23.48); err != nil {
+		t.Fatalf("AddRow: %v", err)
+	}
+	out := tb.String()
+	for _, want := range []string{"## Fig X", "net", "gain", "VGG-A", "3.270", "23.480"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableRowWidthMismatch(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	if err := tb.AddRow("only-one"); !errors.Is(err, ErrTable) {
+		t.Errorf("short row accepted: %v", err)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{1234567, "1.235e+06"},
+		{0.0001, "1.000e-04"},
+		{123.4, "123.4"},
+		{3.14159, "3.142"},
+		{-2.5, "-2.500"},
+	}
+	for _, tt := range tests {
+		if got := formatFloat(tt.v); got != tt.want {
+			t.Errorf("formatFloat(%g) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "name", "value")
+	if err := tb.AddRow(`quo"te`, "a,b"); err != nil {
+		t.Fatalf("AddRow: %v", err)
+	}
+	if err := tb.AddRow("plain", 7); err != nil {
+		t.Fatalf("AddRow: %v", err)
+	}
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"quo""te"`) {
+		t.Errorf("quote not escaped: %s", out)
+	}
+	if !strings.Contains(out, `"a,b"`) {
+		t.Errorf("comma not quoted: %s", out)
+	}
+	if !strings.HasPrefix(out, "name,value\n") {
+		t.Errorf("header wrong: %s", out)
+	}
+}
+
+func TestUntitledTable(t *testing.T) {
+	tb := NewTable("", "x")
+	if err := tb.AddRow(1); err != nil {
+		t.Fatalf("AddRow: %v", err)
+	}
+	if strings.Contains(tb.String(), "##") {
+		t.Error("untitled table printed a title")
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n--
+	if f.n < 0 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestWriteErrors(t *testing.T) {
+	tb := NewTable("t", "a")
+	_ = tb.AddRow(1)
+	for budget := 0; budget < 4; budget++ {
+		if err := tb.WriteText(&failWriter{n: budget}); err == nil && budget < 4 {
+			// budget 4 may be enough; smaller budgets must fail.
+			if budget < 3 {
+				t.Errorf("WriteText with budget %d did not fail", budget)
+			}
+		}
+	}
+	if err := tb.WriteCSV(&failWriter{n: 0}); err == nil {
+		t.Error("WriteCSV with zero budget did not fail")
+	}
+}

@@ -1,0 +1,184 @@
+// Package sim provides the event-driven simulator the HyPar evaluation
+// runs on (paper §6.1): a discrete-event engine scheduling dependent
+// tasks over contended resources, and a training-step builder that
+// compiles a model + hierarchical partition + hardware configuration
+// into a task graph of per-layer compute, DRAM streaming and per-level
+// NoC transfers for the forward, error-backward and gradient phases.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// ErrSim reports an invalid simulation input or a malformed task graph.
+var ErrSim = errors.New("sim: invalid simulation")
+
+// Resource is an exclusive, serially reusable unit (a NoC level's link
+// set, the accelerator array's compute). Tasks bound to the same
+// resource execute one at a time in ready order.
+type Resource struct {
+	Name string
+	free float64 // time at which the resource next becomes available
+	busy float64 // accumulated busy time
+}
+
+// NewResource creates a named resource.
+func NewResource(name string) *Resource { return &Resource{Name: name} }
+
+// Busy returns the total time the resource spent occupied.
+func (r *Resource) Busy() float64 { return r.busy }
+
+// Task is one node of the simulated task graph.
+type Task struct {
+	ID       string
+	Duration float64
+	Resource *Resource // nil means unlimited parallelism
+
+	Start  float64
+	Finish float64
+
+	succs   []*Task
+	pending int     // unresolved dependency count
+	ready   float64 // max finish time of resolved dependencies
+	done    bool
+}
+
+// After declares that t cannot start before dep finishes.
+func (t *Task) After(dep *Task) *Task {
+	if dep == nil {
+		return t
+	}
+	dep.succs = append(dep.succs, t)
+	t.pending++
+	return t
+}
+
+// Engine accumulates tasks and resources and computes the schedule.
+type Engine struct {
+	tasks     []*Task
+	resources []*Resource
+}
+
+// NewEngine creates an empty engine.
+func NewEngine() *Engine { return &Engine{} }
+
+// AddResource registers and returns a named resource.
+func (e *Engine) AddResource(name string) *Resource {
+	r := NewResource(name)
+	e.resources = append(e.resources, r)
+	return r
+}
+
+// AddTask registers a task with the given duration on the (possibly
+// nil) resource, depending on deps.
+func (e *Engine) AddTask(id string, duration float64, res *Resource, deps ...*Task) (*Task, error) {
+	if duration < 0 || math.IsNaN(duration) || math.IsInf(duration, 0) {
+		return nil, fmt.Errorf("%w: task %q has duration %g", ErrSim, id, duration)
+	}
+	t := &Task{ID: id, Duration: duration, Resource: res}
+	for _, d := range deps {
+		t.After(d)
+	}
+	e.tasks = append(e.tasks, t)
+	return t, nil
+}
+
+// readyHeap orders tasks by ready time, breaking ties by insertion
+// order for determinism.
+type readyItem struct {
+	task *Task
+	seq  int
+}
+
+type readyHeap []readyItem
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].task.ready != h[j].task.ready {
+		return h[i].task.ready < h[j].task.ready
+	}
+	return h[i].seq < h[j].seq
+}
+func (h readyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x interface{}) { *h = append(*h, x.(readyItem)) }
+func (h *readyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Run schedules every task and returns the makespan. Tasks bound to a
+// resource are served in ready order (FIFO per resource); independent
+// tasks overlap freely. Run fails on dependency cycles.
+func (e *Engine) Run() (float64, error) {
+	var rh readyHeap
+	seq := 0
+	for _, t := range e.tasks {
+		t.done = false
+		if t.pending == 0 {
+			heap.Push(&rh, readyItem{task: t, seq: seq})
+			seq++
+		}
+	}
+	var makespan float64
+	scheduled := 0
+	for rh.Len() > 0 {
+		it := heap.Pop(&rh).(readyItem)
+		t := it.task
+		t.Start = t.ready
+		if t.Resource != nil && t.Resource.free > t.Start {
+			t.Start = t.Resource.free
+		}
+		t.Finish = t.Start + t.Duration
+		if t.Resource != nil {
+			t.Resource.free = t.Finish
+			t.Resource.busy += t.Duration
+		}
+		t.done = true
+		scheduled++
+		if t.Finish > makespan {
+			makespan = t.Finish
+		}
+		for _, s := range t.succs {
+			s.pending--
+			if t.Finish > s.ready {
+				s.ready = t.Finish
+			}
+			if s.pending == 0 {
+				heap.Push(&rh, readyItem{task: s, seq: seq})
+				seq++
+			}
+		}
+	}
+	if scheduled != len(e.tasks) {
+		return 0, fmt.Errorf("%w: %d of %d tasks never became ready (dependency cycle)",
+			ErrSim, len(e.tasks)-scheduled, len(e.tasks))
+	}
+	return makespan, nil
+}
+
+// NumTasks returns the number of registered tasks.
+func (e *Engine) NumTasks() int { return len(e.tasks) }
+
+// TraceRecords exports the scheduled tasks as trace records (call
+// after Run).
+func (e *Engine) TraceRecords() []trace.Record {
+	recs := make([]trace.Record, 0, len(e.tasks))
+	for _, t := range e.tasks {
+		res := ""
+		if t.Resource != nil {
+			res = t.Resource.Name
+		}
+		recs = append(recs, trace.Record{
+			Name: t.ID, Resource: res, Start: t.Start, Finish: t.Finish,
+		})
+	}
+	return recs
+}

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestEngineLinearChain(t *testing.T) {
+	e := NewEngine()
+	r := e.AddResource("r")
+	a, err := e.AddTask("a", 1, r)
+	if err != nil {
+		t.Fatalf("AddTask: %v", err)
+	}
+	b, _ := e.AddTask("b", 2, r, a)
+	c, _ := e.AddTask("c", 3, r, b)
+	mk, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if mk != 6 {
+		t.Errorf("makespan = %g, want 6", mk)
+	}
+	if c.Start != 3 || c.Finish != 6 {
+		t.Errorf("c scheduled [%g,%g], want [3,6]", c.Start, c.Finish)
+	}
+	if r.Busy() != 6 {
+		t.Errorf("resource busy = %g, want 6", r.Busy())
+	}
+}
+
+func TestEngineParallelism(t *testing.T) {
+	e := NewEngine()
+	// Two independent tasks without resources overlap completely.
+	a, _ := e.AddTask("a", 5, nil)
+	bt, _ := e.AddTask("b", 5, nil)
+	mk, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if mk != 5 {
+		t.Errorf("makespan = %g, want 5", mk)
+	}
+	if a.Start != 0 || bt.Start != 0 {
+		t.Errorf("tasks start at %g and %g, want both 0", a.Start, bt.Start)
+	}
+}
+
+func TestEngineResourceContention(t *testing.T) {
+	e := NewEngine()
+	r := e.AddResource("link")
+	// Two ready-at-0 tasks on one resource serialize.
+	e.AddTask("a", 4, r)
+	e.AddTask("b", 4, r)
+	mk, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if mk != 8 {
+		t.Errorf("makespan = %g, want 8", mk)
+	}
+}
+
+func TestEngineDiamond(t *testing.T) {
+	e := NewEngine()
+	src, _ := e.AddTask("src", 1, nil)
+	l, _ := e.AddTask("left", 2, nil, src)
+	rgt, _ := e.AddTask("right", 7, nil, src)
+	sink, _ := e.AddTask("sink", 1, nil, l, rgt)
+	mk, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if mk != 9 {
+		t.Errorf("makespan = %g, want 9", mk)
+	}
+	if sink.Start != 8 {
+		t.Errorf("sink start = %g, want 8", sink.Start)
+	}
+}
+
+func TestEngineCycleDetection(t *testing.T) {
+	e := NewEngine()
+	a, _ := e.AddTask("a", 1, nil)
+	b, _ := e.AddTask("b", 1, nil, a)
+	a.After(b) // cycle
+	if _, err := e.Run(); !errors.Is(err, ErrSim) {
+		t.Errorf("cycle not detected: %v", err)
+	}
+}
+
+func TestEngineBadDuration(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.AddTask("neg", -1, nil); !errors.Is(err, ErrSim) {
+		t.Errorf("negative duration accepted: %v", err)
+	}
+	if _, err := e.AddTask("nan", math.NaN(), nil); !errors.Is(err, ErrSim) {
+		t.Errorf("NaN duration accepted: %v", err)
+	}
+	if _, err := e.AddTask("inf", math.Inf(1), nil); !errors.Is(err, ErrSim) {
+		t.Errorf("Inf duration accepted: %v", err)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	build := func() (*Engine, *Resource) {
+		e := NewEngine()
+		r := e.AddResource("r")
+		var last *Task
+		for i := 0; i < 50; i++ {
+			var deps []*Task
+			if last != nil && i%3 == 0 {
+				deps = append(deps, last)
+			}
+			tk, _ := e.AddTask("t", float64(i%7)+1, r, deps...)
+			last = tk
+		}
+		return e, r
+	}
+	e1, _ := build()
+	e2, _ := build()
+	m1, err1 := e1.Run()
+	m2, err2 := e2.Run()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("Run: %v %v", err1, err2)
+	}
+	if m1 != m2 {
+		t.Errorf("nondeterministic makespan: %g vs %g", m1, m2)
+	}
+}
+
+func TestAfterNil(t *testing.T) {
+	e := NewEngine()
+	a, _ := e.AddTask("a", 1, nil)
+	a.After(nil) // no-op
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestZeroDurationTasks(t *testing.T) {
+	e := NewEngine()
+	r := e.AddResource("r")
+	a, _ := e.AddTask("a", 0, r)
+	b, _ := e.AddTask("b", 0, r, a)
+	mk, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if mk != 0 || b.Finish != 0 {
+		t.Errorf("zero-duration chain makespan = %g", mk)
+	}
+	if e.NumTasks() != 2 {
+		t.Errorf("NumTasks = %d", e.NumTasks())
+	}
+}

@@ -1,0 +1,395 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/hmc"
+	"repro/internal/nn"
+	"repro/internal/noc"
+	"repro/internal/partition"
+	"repro/internal/pe"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// Arch bundles the hardware configuration of one HyPar accelerator
+// array: the per-cube HMC, the per-cube processing unit, and the
+// inter-cube network.
+type Arch struct {
+	HMC   hmc.Config
+	PE    pe.Config
+	NoC   noc.Topology
+	DType tensor.DType
+
+	// OverlapGradComm lets gradient partial-sum exchanges proceed
+	// concurrently with the remaining backward sweep instead of
+	// serializing phase by phase. The paper's simulator executes the
+	// phases of each layer in order (the default here); overlapping is
+	// provided as an ablation of what a communication-hiding runtime
+	// would recover.
+	OverlapGradComm bool
+
+	// CollectTrace records every scheduled task into Stats.Trace for
+	// Chrome trace export and occupancy analysis.
+	CollectTrace bool
+}
+
+// DefaultArch returns the paper's evaluation platform: sixteen
+// HMC-based accelerators (H = 4) on an H-tree with 1600 Mb/s links.
+func DefaultArch(levels int) (Arch, error) {
+	ht, err := noc.NewHTree(levels, 1600)
+	if err != nil {
+		return Arch{}, err
+	}
+	return Arch{HMC: hmc.Default(), PE: pe.Default(), NoC: ht, DType: tensor.Float32}, nil
+}
+
+// Validate checks the architecture.
+func (a Arch) Validate() error {
+	if err := a.HMC.Validate(); err != nil {
+		return err
+	}
+	if err := a.PE.Validate(); err != nil {
+		return err
+	}
+	if a.NoC == nil {
+		return fmt.Errorf("%w: nil topology", ErrSim)
+	}
+	return nil
+}
+
+// Stats aggregates the outcome of simulating one training step.
+type Stats struct {
+	// StepSeconds is the makespan of one complete training step.
+	StepSeconds float64
+	// ComputeSeconds is the accelerator-array busy time (compute+DRAM
+	// critical path contribution).
+	ComputeSeconds float64
+	// CommSeconds[h] is the busy time of hierarchy level h's links.
+	CommSeconds []float64
+
+	// Energy breakdown, joules, summed over the whole array.
+	EnergyCompute float64
+	EnergySRAM    float64
+	EnergyDRAM    float64
+	EnergyLink    float64
+
+	// CommBytes is the paper's both-direction exchanged-byte total for
+	// the step (Figure 8's quantity).
+	CommBytes float64
+	// DRAMBytes is the array-wide cube-DRAM traffic for the step.
+	DRAMBytes float64
+	// PeakMemoryBytes is the per-accelerator working set of one
+	// training step: local shards of every layer's weights, gradients,
+	// input/output activations and errors (activations are retained
+	// for the backward pass, so the sets sum across layers).
+	PeakMemoryBytes float64
+	// FitsMemory reports whether PeakMemoryBytes fits the HMC capacity.
+	FitsMemory bool
+	// Tasks is the size of the scheduled task graph.
+	Tasks int
+	// Trace holds every scheduled task when Arch.CollectTrace is set.
+	Trace []trace.Record
+}
+
+// TotalCommSeconds sums the per-level link busy times.
+func (s *Stats) TotalCommSeconds() float64 {
+	var t float64
+	for _, c := range s.CommSeconds {
+		t += c
+	}
+	return t
+}
+
+// EnergyTotal sums the energy breakdown.
+func (s *Stats) EnergyTotal() float64 {
+	return s.EnergyCompute + s.EnergySRAM + s.EnergyDRAM + s.EnergyLink
+}
+
+// Simulate runs one training step of the model under the given
+// hierarchical partition plan on the architecture, returning timing,
+// energy and communication statistics.
+//
+// The task graph follows the paper's three phases. Forward: layer
+// compute (with DRAM streaming overlapped), then the mp partial-sum
+// exchange of F_{l+1} level by level, then the inter-layer F
+// conversions, then the next layer. Backward mirrors forward with E
+// tensors. Gradient computation for layer l starts as soon as E_{l+1}
+// exists and overlaps the remaining backward sweep; dp levels then
+// exchange gradient partial sums on the level links (contending with
+// backward traffic), followed by the local weight update.
+func Simulate(m *nn.Model, plan *partition.Plan, arch Arch) (*Stats, error) {
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	shapes, err := m.Shapes(plan.Batch)
+	if err != nil {
+		return nil, err
+	}
+	if len(plan.Levels) > 0 && len(shapes) != len(plan.Levels[0]) {
+		return nil, fmt.Errorf("%w: plan is for %d layers, model %q has %d",
+			ErrSim, len(plan.Levels[0]), m.Name, len(shapes))
+	}
+	if plan.Model != "" && plan.Model != m.Name {
+		return nil, fmt.Errorf("%w: plan was computed for model %q, not %q",
+			ErrSim, plan.Model, m.Name)
+	}
+	levels := plan.NumLevels()
+	if arch.NoC.Levels() < levels {
+		return nil, fmt.Errorf("%w: topology has %d levels, plan needs %d",
+			ErrSim, arch.NoC.Levels(), levels)
+	}
+
+	b := stepBuilder{
+		shapes: shapes,
+		plan:   plan,
+		arch:   arch,
+		eng:    NewEngine(),
+		stats:  &Stats{CommSeconds: make([]float64, levels)},
+	}
+	if err := b.build(); err != nil {
+		return nil, err
+	}
+	makespan, err := b.eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	b.stats.StepSeconds = makespan
+	b.stats.ComputeSeconds = b.compute.Busy()
+	for h, r := range b.links {
+		b.stats.CommSeconds[h] = r.Busy()
+	}
+	b.stats.CommBytes = plan.TotalBytes(arch.DType)
+	b.stats.PeakMemoryBytes = b.workingSet()
+	b.stats.FitsMemory = arch.HMC.Fits(b.stats.PeakMemoryBytes)
+	b.stats.Tasks = b.eng.NumTasks()
+	if arch.CollectTrace {
+		b.stats.Trace = b.eng.TraceRecords()
+	}
+	return b.stats, nil
+}
+
+// stepBuilder compiles the step's task graph and accrues energy.
+type stepBuilder struct {
+	shapes []nn.LayerShapes
+	plan   *partition.Plan
+	arch   Arch
+	eng    *Engine
+	stats  *Stats
+
+	compute *Resource
+	links   []*Resource
+
+	// leafShard[l] is layer l's shard state below the whole hierarchy.
+	leafShard []tensor.Shard
+}
+
+// accs returns the accelerator count 2^H.
+func (b *stepBuilder) accs() float64 {
+	return float64(int64(1) << uint(b.plan.NumLevels()))
+}
+
+// build constructs resources and the full task graph.
+func (b *stepBuilder) build() error {
+	levels := b.plan.NumLevels()
+	b.compute = b.eng.AddResource("array-compute")
+	b.links = make([]*Resource, levels)
+	for h := 0; h < levels; h++ {
+		b.links[h] = b.eng.AddResource(fmt.Sprintf("link-H%d", h+1))
+	}
+
+	nl := len(b.shapes)
+	b.leafShard = make([]tensor.Shard, nl)
+	for l := 0; l < nl; l++ {
+		for h := 0; h < levels; h++ {
+			b.leafShard[l] = b.leafShard[l].Apply(b.plan.At(h, l) == comm.DP)
+		}
+	}
+
+	fwdDone, err := b.buildForward()
+	if err != nil {
+		return err
+	}
+	return b.buildBackwardGradient(fwdDone)
+}
+
+// workingSet returns the per-accelerator bytes resident during one
+// training step: weight and gradient shards plus the retained
+// activations and errors of every layer.
+func (b *stepBuilder) workingSet() float64 {
+	es := float64(b.arch.DType.Size())
+	var total float64
+	for l, s := range b.shapes {
+		sh := b.leafShard[l]
+		w := sh.KernelElems(s.Kernel)
+		in := sh.InputElems(s.In)
+		out := sh.OutputElems(s.Out)
+		// W + ∆W + F_l + F_{l+1} + E_{l+1} (E_l aliases the previous
+		// layer's E_{l+1}).
+		total += (2*w + in + 2*out) * es
+	}
+	return total
+}
+
+// phaseTask adds one compute+DRAM task for a phase of a layer and
+// charges its energy.
+func (b *stepBuilder) phaseTask(name string, l int, p nn.Phase, deps ...*Task) (*Task, error) {
+	s := b.shapes[l]
+	sh := b.leafShard[l]
+	n := b.accs()
+
+	perAccMACs := float64(s.MACs(p)) / n
+	computeT := b.arch.PE.ComputeTime(perAccMACs, s)
+
+	opBytes, resBytes := b.phaseBytes(l, p)
+	traffic := b.arch.PE.DRAMTraffic(s, opBytes, resBytes)
+	dramT := b.arch.HMC.DRAMTime(traffic)
+
+	dur := computeT
+	if dramT > dur {
+		dur = dramT
+	}
+
+	// Energy, array-wide.
+	b.stats.EnergyCompute += b.arch.HMC.MACEnergy(perAccMACs * n)
+	b.stats.EnergySRAM += b.arch.HMC.SRAMEnergy(2 * perAccMACs * n)
+	b.stats.EnergyDRAM += b.arch.HMC.DRAMEnergy(traffic * n)
+	b.stats.DRAMBytes += traffic * n
+	if p == nn.Forward {
+		// Activation and pooling, local element-wise work.
+		aux := float64(s.ActOps()+s.PoolOps()) / n
+		b.stats.EnergyCompute += b.arch.HMC.AddEnergy(aux * n)
+	}
+	if p == nn.Gradient {
+		// Weight update: one multiply-add per local weight shard.
+		upd := sh.KernelElems(s.Kernel)
+		b.stats.EnergyCompute += b.arch.HMC.AddEnergy(upd * n)
+	}
+	return b.eng.AddTask(name, dur, b.compute, deps...)
+}
+
+// phaseBytes returns the per-accelerator operand and result bytes of a
+// phase under the leaf shard state.
+func (b *stepBuilder) phaseBytes(l int, p nn.Phase) (op, res float64) {
+	s := b.shapes[l]
+	sh := b.leafShard[l]
+	es := float64(b.arch.DType.Size())
+	in := sh.InputElems(s.In) * es
+	out := sh.OutputElems(s.Out) * es
+	w := sh.KernelElems(s.Kernel) * es
+	switch p {
+	case nn.Forward:
+		return in + w, out
+	case nn.Backward:
+		return out + w, in
+	default: // Gradient
+		return in + out, w
+	}
+}
+
+// transferChain appends one NoC transfer task per hierarchy level with
+// non-zero volume, chained after prev, charging link energy. Volumes
+// are one-direction per-pair element counts; the exchange a link
+// carries is both directions (the paper's 2× counting), and all pairs
+// of a level move concurrently on that level's link resource.
+func (b *stepBuilder) transferChain(name string, vols func(h int) float64, prev *Task) (*Task, error) {
+	es := float64(b.arch.DType.Size())
+	for h := 0; h < b.plan.NumLevels(); h++ {
+		elems := vols(h)
+		if elems <= 0 {
+			continue
+		}
+		bytes := 2 * elems * es
+		dur, err := b.arch.NoC.TransferTime(h, bytes)
+		if err != nil {
+			return nil, err
+		}
+		linkBytes, err := b.arch.NoC.LinkBytes(h, bytes)
+		if err != nil {
+			return nil, err
+		}
+		b.stats.EnergyLink += b.arch.HMC.LinkEnergy(linkBytes)
+		t, err := b.eng.AddTask(fmt.Sprintf("%s@H%d", name, h+1), dur, b.links[h], prev)
+		if err != nil {
+			return nil, err
+		}
+		prev = t
+	}
+	return prev, nil
+}
+
+// buildForward builds the forward sweep and returns its final task.
+func (b *stepBuilder) buildForward() (*Task, error) {
+	var prev *Task
+	for l := range b.shapes {
+		deps := []*Task{}
+		if prev != nil {
+			deps = append(deps, prev)
+		}
+		ct, err := b.phaseTask(fmt.Sprintf("fwd/%s", b.shapes[l].Layer.Name), l, nn.Forward, deps...)
+		if err != nil {
+			return nil, err
+		}
+		// mp partial-sum exchange of F_{l+1}, level by level.
+		t, err := b.transferChain(fmt.Sprintf("fwd-psum/%s", b.shapes[l].Layer.Name),
+			func(h int) float64 { return b.plan.Details[h].IntraFwd[l] }, ct)
+		if err != nil {
+			return nil, err
+		}
+		// Inter-layer F conversion toward layer l+1.
+		t, err = b.transferChain(fmt.Sprintf("fwd-conv/%s", b.shapes[l].Layer.Name),
+			func(h int) float64 { return b.plan.Details[h].InterF[l] }, t)
+		if err != nil {
+			return nil, err
+		}
+		prev = t
+	}
+	return prev, nil
+}
+
+// buildBackwardGradient builds the backward sweep. In the default
+// phase-serial schedule each layer runs gradient compute, gradient
+// exchange, backward compute and E conversion in order before the next
+// layer starts — matching the paper's per-layer execution. With
+// OverlapGradComm, gradient work branches off the sweep and contends
+// only for the compute and link resources.
+func (b *stepBuilder) buildBackwardGradient(fwdDone *Task) error {
+	nl := len(b.shapes)
+	prev := fwdDone // E_L comes out of the loss right after forward
+	for l := nl - 1; l >= 0; l-- {
+		// Gradient for layer l consumes E_{l+1}, available in prev.
+		gt, err := b.phaseTask(fmt.Sprintf("grad/%s", b.shapes[l].Layer.Name), l, nn.Gradient, prev)
+		if err != nil {
+			return err
+		}
+		// dp gradient partial-sum exchange (allreduce), level by level.
+		gTail, err := b.transferChain(fmt.Sprintf("grad-psum/%s", b.shapes[l].Layer.Name),
+			func(h int) float64 { return b.plan.Details[h].IntraGrad[l] }, gt)
+		if err != nil {
+			return err
+		}
+		if !b.arch.OverlapGradComm {
+			prev = gTail
+		}
+		if l == 0 {
+			// E_0 is never consumed: no backward compute for layer 0.
+			break
+		}
+		ct, err := b.phaseTask(fmt.Sprintf("bwd/%s", b.shapes[l].Layer.Name), l, nn.Backward, prev)
+		if err != nil {
+			return err
+		}
+		// Inter-layer E conversion across the l-1 / l boundary.
+		t, err := b.transferChain(fmt.Sprintf("bwd-conv/%s", b.shapes[l].Layer.Name),
+			func(h int) float64 { return b.plan.Details[h].InterE[l-1] }, ct)
+		if err != nil {
+			return err
+		}
+		prev = t
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package tensor
+
+import "fmt"
+
+// Shard records how many times a layer's tensors have been halved by
+// data-parallel and model-parallel choices at the hierarchy levels above
+// the one currently being considered (paper §4.2).
+//
+// A dp choice halves the batch dimension of the layer's feature map and
+// error tensors; an mp choice halves the layer's input dimension (fc
+// input neurons / conv input channels), and with it the kernel and the
+// input feature map. The output feature map F_{l+1} is produced as
+// partial sums and therefore keeps its full channel extent under mp; only
+// dp choices shrink it (batch).
+type Shard struct {
+	DP int // number of hierarchy levels that chose data parallelism
+	MP int // number of hierarchy levels that chose model parallelism
+}
+
+// Validate reports whether the shard counts are non-negative.
+func (s Shard) Validate() error {
+	if s.DP < 0 || s.MP < 0 {
+		return fmt.Errorf("%w: negative shard counts dp=%d mp=%d", ErrShape, s.DP, s.MP)
+	}
+	return nil
+}
+
+// Levels returns the total number of hierarchy levels applied.
+func (s Shard) Levels() int { return s.DP + s.MP }
+
+// Apply returns the shard extended by one more level of the given kind.
+func (s Shard) Apply(dataParallel bool) Shard {
+	if dataParallel {
+		return Shard{DP: s.DP + 1, MP: s.MP}
+	}
+	return Shard{DP: s.DP, MP: s.MP + 1}
+}
+
+// pow2 returns 2^n as float64 for small non-negative n.
+func pow2(n int) float64 {
+	return float64(int64(1) << uint(n))
+}
+
+// KernelElems returns the per-group element count of a kernel (or its
+// gradient) under this shard: mp levels halve the input dimension.
+func (s Shard) KernelElems(w Kernel) float64 {
+	return float64(w.Elems()) / pow2(s.MP)
+}
+
+// InputElems returns the per-group element count of the layer's input
+// feature map (or input error) under this shard: dp halves the batch and
+// mp halves the channel/neuron extent.
+func (s Shard) InputElems(f FeatureMap) float64 {
+	return float64(f.Elems()) / pow2(s.DP+s.MP)
+}
+
+// OutputElems returns the per-group element count of the layer's output
+// feature map F_{l+1} (or output error E_{l+1}) under this shard: only dp
+// shrinks it, because mp produces full-extent partial sums.
+func (s Shard) OutputElems(f FeatureMap) float64 {
+	return float64(f.Elems()) / pow2(s.DP)
+}
+
+// String implements fmt.Stringer.
+func (s Shard) String() string {
+	return fmt.Sprintf("shard{dp:%d mp:%d}", s.DP, s.MP)
+}

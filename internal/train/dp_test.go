@@ -1,0 +1,103 @@
+package train
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// TestDPPairEquivalence: data-parallel training of a conv+pool+fc
+// network over two groups matches single-device training exactly —
+// Figure 1(a) semantics verified on the general layer mix.
+func TestDPPairEquivalence(t *testing.T) {
+	m := tinyConvNet()
+	const batch = 4
+	ref, err := NewNetwork(m, batch, 123)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	pair, err := NewDPPair(ref)
+	if err != nil {
+		t.Fatalf("NewDPPair: %v", err)
+	}
+	x, labels, err := SyntheticBatch(m, batch, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 3; step++ {
+		refLoss, err := ref.TrainStep(x, labels, 0.1)
+		if err != nil {
+			t.Fatalf("ref step: %v", err)
+		}
+		dpLoss, err := pair.Step(x, labels, 0.1)
+		if err != nil {
+			t.Fatalf("dp step: %v", err)
+		}
+		if math.Abs(refLoss-dpLoss) > 1e-9 {
+			t.Fatalf("step %d: losses diverge %g vs %g", step, refLoss, dpLoss)
+		}
+		for l := 0; l < ref.Layers(); l++ {
+			if d, _ := MaxAbsDiff(ref.Weights(l), pair.Weights(l)); d > 1e-9 {
+				t.Fatalf("step %d layer %d weights diverge by %g", step, l, d)
+			}
+		}
+		if d, err := pair.VerifyReplicas(); err != nil || d > 1e-12 {
+			t.Fatalf("step %d: replicas diverged by %g (%v)", step, d, err)
+		}
+	}
+}
+
+// TestDPPairGradTraffic: the measured gradient exchange equals
+// 2·A(∆W) per layer per step (Table 1, dp column).
+func TestDPPairGradTraffic(t *testing.T) {
+	m := nn.LenetC()
+	ref, err := NewNetwork(m, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := NewDPPair(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, labels, err := SyntheticBatch(m, 2, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pair.Step(x, labels, 0.01); err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	shapes, err := m.Shapes(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for _, s := range shapes {
+		want += 2 * float64(s.Kernel.Elems())
+	}
+	if pair.GradExchanged != want {
+		t.Errorf("gradient traffic %g, want 2·ΣA(∆W)=%g", pair.GradExchanged, want)
+	}
+}
+
+func TestDPPairErrors(t *testing.T) {
+	m := tinyConvNet()
+	refOdd, _ := NewNetwork(m, 3, 1)
+	if _, err := NewDPPair(refOdd); !errors.Is(err, ErrTrain) {
+		t.Errorf("odd batch accepted: %v", err)
+	}
+	ref, _ := NewNetwork(m, 4, 1)
+	pair, err := NewDPPair(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, _ := NewTensor(2, 6, 6, 1)
+	if _, err := pair.Step(bad, []int{0, 1}, 0.1); !errors.Is(err, ErrTrain) {
+		t.Errorf("wrong batch accepted: %v", err)
+	}
+	good, _ := NewTensor(4, 6, 6, 1)
+	if _, err := pair.Step(good, []int{0}, 0.1); !errors.Is(err, ErrTrain) {
+		t.Errorf("short labels accepted: %v", err)
+	}
+}

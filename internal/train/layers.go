@@ -1,0 +1,207 @@
+package train
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+// convForward computes out[b,oh,ow,co] = Σ_{kh,kw,ci} in[b,ih,iw,ci] ·
+// w[kh,kw,ci,co] with the layer's stride and zero padding. Tensors are
+// laid out NHWC; kernels KKIO.
+func convForward(in *Tensor, w *Tensor, l nn.Layer, out *Tensor) {
+	b, ih, iw, ci := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	oh, ow, co := out.Shape[1], out.Shape[2], out.Shape[3]
+	k := l.K
+	stride := l.Stride
+	if stride <= 0 {
+		stride = 1
+	}
+	pad := l.Pad
+	for bi := 0; bi < b; bi++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				for c := 0; c < co; c++ {
+					var acc float64
+					for ky := 0; ky < k; ky++ {
+						sy := y*stride + ky - pad
+						if sy < 0 || sy >= ih {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							sx := x*stride + kx - pad
+							if sx < 0 || sx >= iw {
+								continue
+							}
+							inBase := ((bi*ih+sy)*iw + sx) * ci
+							wBase := ((ky*k + kx) * ci) * co
+							for cc := 0; cc < ci; cc++ {
+								acc += in.Data[inBase+cc] * w.Data[wBase+cc*co+c]
+							}
+						}
+					}
+					out.Data[((bi*oh+y)*ow+x)*co+c] = acc
+				}
+			}
+		}
+	}
+}
+
+// convBackward computes the input gradient dIn and weight gradient dW
+// from the output gradient dOut (all NHWC / KKIO).
+func convBackward(in, w, dOut *Tensor, l nn.Layer, dIn, dW *Tensor) {
+	b, ih, iw, ci := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	oh, ow, co := dOut.Shape[1], dOut.Shape[2], dOut.Shape[3]
+	k := l.K
+	stride := l.Stride
+	if stride <= 0 {
+		stride = 1
+	}
+	pad := l.Pad
+	dIn.Zero()
+	dW.Zero()
+	for bi := 0; bi < b; bi++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				outBase := ((bi*oh+y)*ow + x) * co
+				for ky := 0; ky < k; ky++ {
+					sy := y*stride + ky - pad
+					if sy < 0 || sy >= ih {
+						continue
+					}
+					for kx := 0; kx < k; kx++ {
+						sx := x*stride + kx - pad
+						if sx < 0 || sx >= iw {
+							continue
+						}
+						inBase := ((bi*ih+sy)*iw + sx) * ci
+						wBase := ((ky*k + kx) * ci) * co
+						for cc := 0; cc < ci; cc++ {
+							inV := in.Data[inBase+cc]
+							for c := 0; c < co; c++ {
+								g := dOut.Data[outBase+c]
+								dIn.Data[inBase+cc] += g * w.Data[wBase+cc*co+c]
+								dW.Data[wBase+cc*co+c] += g * inV
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// fcForward computes out[b,o] = Σ_i in[b,i] · w[i,o].
+func fcForward(in, w, out *Tensor) {
+	b := in.Shape[0]
+	ci := in.Len() / b
+	co := out.Len() / b
+	for bi := 0; bi < b; bi++ {
+		inBase := bi * ci
+		outBase := bi * co
+		for o := 0; o < co; o++ {
+			var acc float64
+			wo := o
+			for i := 0; i < ci; i++ {
+				acc += in.Data[inBase+i] * w.Data[wo]
+				wo += co
+			}
+			out.Data[outBase+o] = acc
+		}
+	}
+}
+
+// fcBackward computes dIn = dOut · Wᵀ and dW = inᵀ · dOut.
+func fcBackward(in, w, dOut *Tensor, dIn, dW *Tensor) {
+	b := in.Shape[0]
+	ci := in.Len() / b
+	co := dOut.Len() / b
+	dIn.Zero()
+	dW.Zero()
+	for bi := 0; bi < b; bi++ {
+		inBase := bi * ci
+		outBase := bi * co
+		for i := 0; i < ci; i++ {
+			inV := in.Data[inBase+i]
+			wRow := i * co
+			var acc float64
+			for o := 0; o < co; o++ {
+				g := dOut.Data[outBase+o]
+				acc += g * w.Data[wRow+o]
+				dW.Data[wRow+o] += g * inV
+			}
+			dIn.Data[inBase+i] = acc
+		}
+	}
+}
+
+// reluForward applies max(0, x) element-wise, recording the mask.
+func reluForward(x *Tensor, mask []bool) {
+	for i, v := range x.Data {
+		if v > 0 {
+			mask[i] = true
+		} else {
+			mask[i] = false
+			x.Data[i] = 0
+		}
+	}
+}
+
+// reluBackward zeroes gradient entries whose activation was clamped.
+func reluBackward(g *Tensor, mask []bool) {
+	for i := range g.Data {
+		if !mask[i] {
+			g.Data[i] = 0
+		}
+	}
+}
+
+// poolForward applies non-overlapping p×p max pooling (NHWC), recording
+// the argmax index of each output element for the backward pass.
+func poolForward(in *Tensor, p int, out *Tensor, argmax []int) {
+	b, ih, iw, c := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	oh, ow := out.Shape[1], out.Shape[2]
+	_ = iw
+	for bi := 0; bi < b; bi++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				for cc := 0; cc < c; cc++ {
+					best := -1
+					bestV := 0.0
+					for py := 0; py < p; py++ {
+						for px := 0; px < p; px++ {
+							sy, sx := y*p+py, x*p+px
+							if sy >= ih || sx >= in.Shape[2] {
+								continue
+							}
+							idx := ((bi*ih+sy)*in.Shape[2]+sx)*c + cc
+							if best < 0 || in.Data[idx] > bestV {
+								best = idx
+								bestV = in.Data[idx]
+							}
+						}
+					}
+					oIdx := ((bi*oh+y)*ow+x)*c + cc
+					out.Data[oIdx] = bestV
+					argmax[oIdx] = best
+				}
+			}
+		}
+	}
+}
+
+// poolBackward routes each output gradient to its argmax source.
+func poolBackward(dOut *Tensor, argmax []int, dIn *Tensor) {
+	dIn.Zero()
+	for i, g := range dOut.Data {
+		dIn.Data[argmax[i]] += g
+	}
+}
+
+// checkNHWC validates that a tensor has the expected 4-D geometry.
+func checkNHWC(t *Tensor, b, h, w, c int) error {
+	if len(t.Shape) != 4 || t.Shape[0] != b || t.Shape[1] != h || t.Shape[2] != w || t.Shape[3] != c {
+		return fmt.Errorf("%w: tensor %v, want [%d %d %d %d]", ErrTrain, t.Shape, b, h, w, c)
+	}
+	return nil
+}

@@ -1,0 +1,313 @@
+package train
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// tinyConvNet is a small conv+pool+fc network for numerical checks.
+func tinyConvNet() *nn.Model {
+	return &nn.Model{
+		Name:  "tiny",
+		Input: nn.Input{H: 6, W: 6, C: 1},
+		Layers: []nn.Layer{
+			nn.ConvPoolLayer("conv1", 3, 2, 2),
+			{Name: "fc1", Type: nn.FC, Cout: 4, Act: nn.Softmax},
+		},
+	}
+}
+
+// tinyFCNet is a small all-fc network.
+func tinyFCNet() *nn.Model {
+	return &nn.Model{
+		Name:  "tiny-fc",
+		Input: nn.Input{H: 1, W: 1, C: 12},
+		Layers: []nn.Layer{
+			nn.FCLayer("fc1", 10),
+			nn.FCLayer("fc2", 8),
+			{Name: "fc3", Type: nn.FC, Cout: 4, Act: nn.Softmax},
+		},
+	}
+}
+
+func TestNewTensorErrors(t *testing.T) {
+	if _, err := NewTensor(2, 0); !errors.Is(err, ErrTrain) {
+		t.Errorf("zero dim accepted: %v", err)
+	}
+	if _, err := NewTensor(2, -3); !errors.Is(err, ErrTrain) {
+		t.Errorf("negative dim accepted: %v", err)
+	}
+	x, err := NewTensor(2, 3)
+	if err != nil || x.Len() != 6 {
+		t.Fatalf("NewTensor: %v, len %d", err, x.Len())
+	}
+	if err := x.AddScaled(&Tensor{Data: make([]float64, 5)}, 1); !errors.Is(err, ErrTrain) {
+		t.Errorf("mismatched AddScaled accepted: %v", err)
+	}
+	if _, err := MaxAbsDiff(x, &Tensor{Data: make([]float64, 5)}); !errors.Is(err, ErrTrain) {
+		t.Errorf("mismatched MaxAbsDiff accepted: %v", err)
+	}
+}
+
+func TestTensorOps(t *testing.T) {
+	x, _ := NewTensor(2, 2)
+	x.Data = []float64{1, 2, 3, 4}
+	y := x.Clone()
+	if err := y.AddScaled(x, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if y.Data[3] != 6 {
+		t.Errorf("AddScaled wrong: %v", y.Data)
+	}
+	d, err := MaxAbsDiff(x, y)
+	if err != nil || d != 2 {
+		t.Errorf("MaxAbsDiff = %g, %v; want 2", d, err)
+	}
+	y.Zero()
+	if y.Data[0] != 0 || y.Data[3] != 0 {
+		t.Error("Zero failed")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := newRNG(7), newRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.float64() != b.float64() {
+			t.Fatal("rng not deterministic")
+		}
+	}
+	z := newRNG(0)
+	if z.state == 0 {
+		t.Error("zero seed not remapped")
+	}
+	// Normal values should have roughly zero mean.
+	r := newRNG(3)
+	var sum float64
+	for i := 0; i < 10000; i++ {
+		sum += r.normal()
+	}
+	if m := sum / 10000; math.Abs(m) > 0.05 {
+		t.Errorf("normal mean %g too far from 0", m)
+	}
+}
+
+func TestForwardShapes(t *testing.T) {
+	m := tinyConvNet()
+	net, err := NewNetwork(m, 2, 1)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	if net.Layers() != 2 {
+		t.Fatalf("layers = %d", net.Layers())
+	}
+	x, _ := NewTensor(2, 6, 6, 1)
+	for i := range x.Data {
+		x.Data[i] = float64(i%7) / 7
+	}
+	logits, err := net.Forward(x)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if logits.Shape[0] != 2 || logits.Shape[1] != 4 {
+		t.Errorf("logits shape %v, want [2 4]", logits.Shape)
+	}
+	// Wrong input geometry is rejected.
+	bad, _ := NewTensor(2, 5, 6, 1)
+	if _, err := net.Forward(bad); !errors.Is(err, ErrTrain) {
+		t.Errorf("bad input accepted: %v", err)
+	}
+}
+
+func TestSoftmaxCrossEntropy(t *testing.T) {
+	logits := &Tensor{Shape: []int{2, 3}, Data: []float64{1, 1, 1, 5, 0, 0}}
+	loss, grad, err := SoftmaxCrossEntropy(logits, []int{0, 0})
+	if err != nil {
+		t.Fatalf("SoftmaxCrossEntropy: %v", err)
+	}
+	// Uniform row: loss ln(3); confident correct row: near 0.
+	want := (math.Log(3) + -math.Log(math.Exp(5)/(math.Exp(5)+2))) / 2
+	if math.Abs(loss-want) > 1e-9 {
+		t.Errorf("loss = %g, want %g", loss, want)
+	}
+	// Gradient rows sum to zero (softmax minus one-hot).
+	for r := 0; r < 2; r++ {
+		var sum float64
+		for c := 0; c < 3; c++ {
+			sum += grad.Data[r*3+c]
+		}
+		if math.Abs(sum) > 1e-12 {
+			t.Errorf("grad row %d sums to %g", r, sum)
+		}
+	}
+	// Error paths.
+	if _, _, err := SoftmaxCrossEntropy(logits, []int{0}); !errors.Is(err, ErrTrain) {
+		t.Errorf("short labels accepted: %v", err)
+	}
+	if _, _, err := SoftmaxCrossEntropy(logits, []int{0, 9}); !errors.Is(err, ErrTrain) {
+		t.Errorf("out-of-range label accepted: %v", err)
+	}
+	if _, _, err := SoftmaxCrossEntropy(&Tensor{Shape: []int{6}, Data: logits.Data}, []int{0, 0}); !errors.Is(err, ErrTrain) {
+		t.Errorf("1-D logits accepted: %v", err)
+	}
+}
+
+// TestGradientCheck validates analytic gradients against central
+// finite differences on a conv+pool+fc network — the backbone of every
+// result in this repository's numerical substrate.
+func TestGradientCheck(t *testing.T) {
+	m := tinyConvNet()
+	net, err := NewNetwork(m, 2, 42)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	x, _ := NewTensor(2, 6, 6, 1)
+	r := newRNG(9)
+	for i := range x.Data {
+		x.Data[i] = r.normal()
+	}
+	labels := []int{1, 3}
+
+	lossAt := func() float64 {
+		logits, err := net.Forward(x)
+		if err != nil {
+			t.Fatalf("Forward: %v", err)
+		}
+		loss, _, err := SoftmaxCrossEntropy(logits, labels)
+		if err != nil {
+			t.Fatalf("loss: %v", err)
+		}
+		return loss
+	}
+
+	// Analytic gradients.
+	logits, err := net.Forward(x)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	_, dLogits, err := SoftmaxCrossEntropy(logits, labels)
+	if err != nil {
+		t.Fatalf("loss: %v", err)
+	}
+	if _, err := net.Backward(dLogits); err != nil {
+		t.Fatalf("Backward: %v", err)
+	}
+
+	const h = 1e-6
+	for l := 0; l < net.Layers(); l++ {
+		w := net.Weights(l)
+		g := net.Grads(l)
+		// Sample a spread of weights.
+		for _, idx := range []int{0, w.Len() / 3, w.Len() / 2, w.Len() - 1} {
+			orig := w.Data[idx]
+			w.Data[idx] = orig + h
+			up := lossAt()
+			w.Data[idx] = orig - h
+			down := lossAt()
+			w.Data[idx] = orig
+			num := (up - down) / (2 * h)
+			ana := g.Data[idx]
+			if diff := math.Abs(num - ana); diff > 1e-5*(1+math.Abs(num)) {
+				t.Errorf("layer %d weight %d: numeric %g vs analytic %g", l, idx, num, ana)
+			}
+		}
+	}
+}
+
+// TestTrainingConverges: a few SGD steps on a fixed synthetic batch
+// must reduce the loss substantially — real learning end to end.
+func TestTrainingConverges(t *testing.T) {
+	m := tinyFCNet()
+	net, err := NewNetwork(m, 16, 5)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	x, labels, err := SyntheticBatch(m, 16, 4, 11)
+	if err != nil {
+		t.Fatalf("SyntheticBatch: %v", err)
+	}
+	first, err := net.TrainStep(x, labels, 0.5)
+	if err != nil {
+		t.Fatalf("TrainStep: %v", err)
+	}
+	var last float64
+	for i := 0; i < 60; i++ {
+		last, err = net.TrainStep(x, labels, 0.5)
+		if err != nil {
+			t.Fatalf("TrainStep %d: %v", i, err)
+		}
+	}
+	if !(last < first*0.5) {
+		t.Errorf("loss did not converge: first %g, last %g", first, last)
+	}
+	if math.IsNaN(last) || math.IsInf(last, 0) {
+		t.Errorf("loss diverged: %g", last)
+	}
+}
+
+func TestSyntheticBatch(t *testing.T) {
+	m := tinyFCNet()
+	x1, l1, err := SyntheticBatch(m, 8, 4, 3)
+	if err != nil {
+		t.Fatalf("SyntheticBatch: %v", err)
+	}
+	x2, l2, err := SyntheticBatch(m, 8, 4, 3)
+	if err != nil {
+		t.Fatalf("SyntheticBatch: %v", err)
+	}
+	d, _ := MaxAbsDiff(x1, x2)
+	if d != 0 {
+		t.Error("synthetic data not deterministic")
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Error("labels not deterministic")
+		}
+		if l1[i] < 0 || l1[i] >= 4 {
+			t.Errorf("label %d out of range", l1[i])
+		}
+	}
+	if _, _, err := SyntheticBatch(m, 8, 1, 3); !errors.Is(err, ErrTrain) {
+		t.Errorf("single-class batch accepted: %v", err)
+	}
+}
+
+func TestBackwardErrors(t *testing.T) {
+	m := tinyFCNet()
+	net, _ := NewNetwork(m, 4, 1)
+	x, _ := NewTensor(4, 1, 1, 12)
+	if _, err := net.Forward(x); err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	bad, _ := NewTensor(4, 7)
+	if _, err := net.Backward(bad); !errors.Is(err, ErrTrain) {
+		t.Errorf("bad dLogits accepted: %v", err)
+	}
+}
+
+// TestLenetTrains runs one real training step of the paper's Lenet-c at
+// a small batch — the full conv/pool/fc pipeline at MNIST geometry.
+func TestLenetTrains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Lenet step")
+	}
+	m := nn.LenetC()
+	net, err := NewNetwork(m, 4, 2)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	x, labels, err := SyntheticBatch(m, 4, 10, 7)
+	if err != nil {
+		t.Fatalf("SyntheticBatch: %v", err)
+	}
+	loss, err := net.TrainStep(x, labels, 0.01)
+	if err != nil {
+		t.Fatalf("TrainStep: %v", err)
+	}
+	// Initial loss of a 10-class untrained net sits near ln(10).
+	if loss < 0.5 || loss > 10 {
+		t.Errorf("implausible initial loss %g", loss)
+	}
+}

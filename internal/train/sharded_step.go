@@ -1,0 +1,345 @@
+package train
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Forward runs the sharded forward pass on the full batch x
+// [B × input] and returns the logits as reconstructed full tensors
+// (for verification; the groups themselves keep only their shards).
+func (s *ShardedFC) Forward(x *Tensor) (*Tensor, error) {
+	if len(x.Shape) < 2 || x.Shape[0] != s.batch {
+		return nil, fmt.Errorf("%w: input shape %v for batch %d", ErrTrain, x.Shape, s.batch)
+	}
+	in0 := int(s.shapes[0].Kernel.Cin)
+	if x.Len() != s.batch*in0 {
+		return nil, fmt.Errorf("%w: input has %d elements, want %d", ErrTrain, x.Len(), s.batch*in0)
+	}
+	flat := &Tensor{Shape: []int{s.batch, in0}, Data: x.Data}
+
+	nl := len(s.shapes)
+	for l := 0; l < nl; l++ {
+		cin, cout := s.shapes[l].Kernel.Cin, s.shapes[l].Kernel.Cout
+		for g := 0; g < 2; g++ {
+			grp := s.groups[g]
+			in, err := s.inputFor(l, g, flat)
+			if err != nil {
+				return nil, err
+			}
+			grp.in[l] = in
+			var out *Tensor
+			if s.assign[l] == comm.DP {
+				out, err = matmul(in, grp.w[l], s.batch/2, cin, cout)
+			} else {
+				out, err = matmul(in, grp.w[l], s.batch, cin/2, cout)
+			}
+			if err != nil {
+				return nil, err
+			}
+			grp.out[l] = out
+		}
+		if s.assign[l] == comm.MP {
+			// Partial-sum exchange ⊕: each group reads the peer's full
+			// partial output and accumulates (Table 1: A(F_{l+1})).
+			p0, p1 := s.groups[0].out[l], s.groups[1].out[l]
+			s.IntraFwd[l] += float64(p0.Len() + p1.Len())
+			sum := p0.Clone()
+			if err := sum.AddScaled(p1, 1); err != nil {
+				return nil, err
+			}
+			s.groups[0].out[l] = sum
+			s.groups[1].out[l] = sum.Clone()
+		}
+		// Activation in the output representation.
+		if s.model.Layers[l].Act == nn.ReLU {
+			for g := 0; g < 2; g++ {
+				grp := s.groups[g]
+				if grp.mask[l] == nil || len(grp.mask[l]) != grp.out[l].Len() {
+					grp.mask[l] = make([]bool, grp.out[l].Len())
+				}
+				reluForward(grp.out[l], grp.mask[l])
+			}
+		}
+	}
+	return s.Logits(), nil
+}
+
+// inputFor materializes layer l's input in its required representation
+// for group g, fetching (and counting) remote pieces per Table 2.
+func (s *ShardedFC) inputFor(l, g int, x *Tensor) (*Tensor, error) {
+	cin := s.shapes[l].Kernel.Cin
+	cur := s.assign[l]
+
+	if l == 0 {
+		// Input distribution is free (the paper's model starts at the
+		// first weighted layer's boundary).
+		if cur == comm.DP {
+			return rowsOf(x, g*s.batch/2, (g+1)*s.batch/2, cin), nil
+		}
+		return colsOf(x, s.batch, cin, g*cin/2, (g+1)*cin/2), nil
+	}
+
+	prev := s.assign[l-1]
+	own := s.groups[g].out[l-1]
+	peer := s.groups[1-g].out[l-1]
+	switch {
+	case prev == comm.DP && cur == comm.DP:
+		// Rows already match.
+		return own, nil
+	case prev == comm.DP && cur == comm.MP:
+		// Need [B × cin/2]: own rows' columns are local, the peer's
+		// rows' columns are remote (Table 2 dp-mp: 0.25·A(F_l) each
+		// direction).
+		lo, hi := g*cin/2, (g+1)*cin/2
+		ownCols := colsOf(own, s.batch/2, cin, lo, hi)
+		peerCols := colsOf(peer, s.batch/2, cin, lo, hi)
+		// One direction per group; summing both groups' fetches yields
+		// the both-direction total.
+		s.InterF[l-1] += float64(peerCols.Len())
+		full, err := NewTensor(s.batch, cin/2)
+		if err != nil {
+			return nil, err
+		}
+		// Group g's rows occupy their batch positions; the peer's rows
+		// theirs.
+		w := cin / 2
+		copy(full.Data[g*(s.batch/2)*w:(g+1)*(s.batch/2)*w], ownCols.Data)
+		copy(full.Data[(1-g)*(s.batch/2)*w:(2-g)*(s.batch/2)*w], peerCols.Data)
+		return full, nil
+	case prev == comm.MP && cur == comm.DP:
+		// Previous output is full and replicated: take own rows, free.
+		return rowsOf(own, g*s.batch/2, (g+1)*s.batch/2, cin), nil
+	default: // mp-mp
+		// Previous output is full and replicated: take own columns.
+		return colsOf(own, s.batch, cin, g*cin/2, (g+1)*cin/2), nil
+	}
+}
+
+// Logits reconstructs the full logits matrix from the groups' shards.
+func (s *ShardedFC) Logits() *Tensor {
+	nl := len(s.shapes)
+	cout := s.shapes[nl-1].Kernel.Cout
+	if s.assign[nl-1] == comm.MP {
+		return s.groups[0].out[nl-1].Clone()
+	}
+	full := &Tensor{Shape: []int{s.batch, cout}, Data: make([]float64, s.batch*cout)}
+	copy(full.Data[:s.batch/2*cout], s.groups[0].out[nl-1].Data)
+	copy(full.Data[s.batch/2*cout:], s.groups[1].out[nl-1].Data)
+	return full
+}
+
+// Backward propagates the softmax/cross-entropy gradient for the given
+// labels through both groups, accumulating weight gradients and
+// counting every remote fetch; it then applies the SGD update.
+func (s *ShardedFC) Backward(labels []int, lr float64) (float64, error) {
+	nl := len(s.shapes)
+	logits := s.Logits()
+	loss, dLogits, err := SoftmaxCrossEntropy(logits, labels)
+	if err != nil {
+		return 0, err
+	}
+
+	// eNext[g] is E_{l+1} in layer l+1's production representation.
+	// At the top the loss gradient arrives in the last layer's output
+	// representation for free.
+	eNext := make([]*Tensor, 2)
+	cout := s.shapes[nl-1].Kernel.Cout
+	if s.assign[nl-1] == comm.MP {
+		eNext[0] = dLogits.Clone()
+		eNext[1] = dLogits.Clone()
+	} else {
+		eNext[0] = rowsOf(dLogits, 0, s.batch/2, cout)
+		eNext[1] = rowsOf(dLogits, s.batch/2, s.batch, cout)
+	}
+	eNextRepr := s.assign[nl-1] // representation eNext is currently in
+
+	for l := nl - 1; l >= 0; l-- {
+		cin, co := s.shapes[l].Kernel.Cin, s.shapes[l].Kernel.Cout
+		cur := s.assign[l]
+		// Convert E_{l+1} into layer l's required representation
+		// (dp: own rows; mp: full), counting per Table 2. The top
+		// layer's loss gradient already arrives in its own output
+		// representation (dp: rows; mp: full), so no conversion there.
+		dz := make([]*Tensor, 2)
+		if l == nl-1 {
+			dz[0] = eNext[0].Clone()
+			dz[1] = eNext[1].Clone()
+		} else {
+			for g := 0; g < 2; g++ {
+				e, fetched, err := s.errorFor(l, g, eNext, eNextRepr, co)
+				if err != nil {
+					return 0, err
+				}
+				s.InterE[l] += fetched
+				dz[g] = e
+			}
+		}
+		// Activation derivative in the output representation.
+		if s.model.Layers[l].Act == nn.ReLU {
+			for g := 0; g < 2; g++ {
+				reluBackward(dz[g], s.groups[g].mask[l])
+			}
+		}
+		// Gradient computation.
+		for g := 0; g < 2; g++ {
+			grp := s.groups[g]
+			var dwPart *Tensor
+			if cur == comm.DP {
+				dwPart, err = matmulAT(grp.in[l], dz[g], s.batch/2, cin, co)
+			} else {
+				dwPart, err = matmulAT(grp.in[l], dz[g], s.batch, cin/2, co)
+			}
+			if err != nil {
+				return 0, err
+			}
+			grp.dw[l] = dwPart
+		}
+		if cur == comm.DP {
+			// Gradient partial-sum exchange ⊕ (Table 1: A(∆W_l)).
+			d0, d1 := s.groups[0].dw[l], s.groups[1].dw[l]
+			s.IntraGrad[l] += float64(d0.Len() + d1.Len())
+			sum := d0.Clone()
+			if err := sum.AddScaled(d1, 1); err != nil {
+				return 0, err
+			}
+			s.groups[0].dw[l] = sum
+			s.groups[1].dw[l] = sum.Clone()
+		}
+		// Error backward for the next iteration (skip below layer 0).
+		if l > 0 {
+			for g := 0; g < 2; g++ {
+				grp := s.groups[g]
+				if cur == comm.DP {
+					eNext[g], err = matmulBT(dz[g], grp.w[l], s.batch/2, co, cin)
+				} else {
+					eNext[g], err = matmulBT(dz[g], grp.w[l], s.batch, co, cin/2)
+				}
+				if err != nil {
+					return 0, err
+				}
+			}
+			eNextRepr = cur
+		}
+		// SGD update on the local shard.
+		for g := 0; g < 2; g++ {
+			grp := s.groups[g]
+			for i := range grp.w[l].Data {
+				grp.w[l].Data[i] -= lr * grp.dw[l].Data[i]
+			}
+		}
+	}
+	return loss, nil
+}
+
+// errorFor materializes E_{l+1} for layer l / group g from the
+// production representation, returning the tensor and the number of
+// remotely fetched elements.
+//
+// Production representation semantics: under dp the producer holds its
+// batch rows; under mp it holds its column shard (of the producing
+// layer's input dimension = this layer's output dimension).
+func (s *ShardedFC) errorFor(l, g int, eNext []*Tensor, prodRepr comm.Parallelism, co int) (*Tensor, float64, error) {
+	cur := s.assign[l]
+	own := eNext[g]
+	peer := eNext[1-g]
+	switch {
+	case cur == comm.DP && prodRepr == comm.DP:
+		return own.Clone(), 0, nil
+	case cur == comm.DP && prodRepr == comm.MP:
+		// Need own rows, full columns; own column shard is local, the
+		// peer's column shard of our rows is remote (0.25·A each way).
+		w := co / 2
+		ownRows := rowsOf(own, g*s.batch/2, (g+1)*s.batch/2, w)
+		peerRows := rowsOf(peer, g*s.batch/2, (g+1)*s.batch/2, w)
+		full, err := NewTensor(s.batch/2, co)
+		if err != nil {
+			return nil, 0, err
+		}
+		for i := 0; i < s.batch/2; i++ {
+			copy(full.Data[i*co+g*w:i*co+(g+1)*w], ownRows.Data[i*w:(i+1)*w])
+			copy(full.Data[i*co+(1-g)*w:i*co+(2-g)*w], peerRows.Data[i*w:(i+1)*w])
+		}
+		return full, float64(peerRows.Len()), nil
+	case cur == comm.MP && prodRepr == comm.DP:
+		// Need the full matrix; the peer's rows are remote (0.5·A).
+		full, err := NewTensor(s.batch, co)
+		if err != nil {
+			return nil, 0, err
+		}
+		copy(full.Data[g*(s.batch/2)*co:(g+1)*(s.batch/2)*co], own.Data)
+		copy(full.Data[(1-g)*(s.batch/2)*co:(2-g)*(s.batch/2)*co], peer.Data)
+		return full, float64(peer.Len()), nil
+	default: // mp needs full, produced mp column-split (0.5·A).
+		w := co / 2
+		full, err := NewTensor(s.batch, co)
+		if err != nil {
+			return nil, 0, err
+		}
+		for i := 0; i < s.batch; i++ {
+			copy(full.Data[i*co+g*w:i*co+(g+1)*w], own.Data[i*w:(i+1)*w])
+			copy(full.Data[i*co+(1-g)*w:i*co+(2-g)*w], peer.Data[i*w:(i+1)*w])
+		}
+		return full, float64(peer.Len()), nil
+	}
+}
+
+// FullWeights reconstructs layer l's complete weight matrix from the
+// groups' shards (dp: replicated; mp: row-concatenated).
+func (s *ShardedFC) FullWeights(l int) (*Tensor, error) {
+	cin, cout := s.shapes[l].Kernel.Cin, s.shapes[l].Kernel.Cout
+	if s.assign[l] == comm.DP {
+		d, err := MaxAbsDiff(s.groups[0].w[l], s.groups[1].w[l])
+		if err != nil {
+			return nil, err
+		}
+		if d > 1e-9 {
+			return nil, fmt.Errorf("%w: dp replicas diverged by %g at layer %d", ErrTrain, d, l)
+		}
+		return s.groups[0].w[l].Clone(), nil
+	}
+	full, err := NewTensor(cin, cout)
+	if err != nil {
+		return nil, err
+	}
+	half := (cin / 2) * cout
+	copy(full.Data[:half], s.groups[0].w[l].Data)
+	copy(full.Data[half:], s.groups[1].w[l].Data)
+	return full, nil
+}
+
+// Step runs one full sharded training step and returns the loss.
+func (s *ShardedFC) Step(x *Tensor, labels []int, lr float64) (float64, error) {
+	if _, err := s.Forward(x); err != nil {
+		return 0, err
+	}
+	return s.Backward(labels, lr)
+}
+
+// PredictedExchanges returns the analytic per-layer exchange volumes
+// (elements, both directions) from the communication model of
+// Tables 1-2 for this assignment, in the same categories the executor
+// measures.
+func (s *ShardedFC) PredictedExchanges() (intraFwd, intraGrad, interF, interE []float64) {
+	nl := len(s.shapes)
+	intraFwd = make([]float64, nl)
+	intraGrad = make([]float64, nl)
+	interF = make([]float64, nl)
+	interE = make([]float64, nl)
+	for l := 0; l < nl; l++ {
+		a := comm.Amounts(s.shapes[l], tensor.Shard{})
+		if s.assign[l] == comm.MP {
+			intraFwd[l] = 2 * comm.Intra(comm.MP, a)
+		} else {
+			intraGrad[l] = 2 * comm.Intra(comm.DP, a)
+		}
+		if l+1 < nl {
+			interF[l] = 2 * comm.InterF(s.assign[l], s.assign[l+1], a)
+			interE[l] = 2 * comm.InterE(s.assign[l], s.assign[l+1], a)
+		}
+	}
+	return intraFwd, intraGrad, interF, interE
+}
