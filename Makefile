@@ -1,0 +1,32 @@
+# Development entry points; CI runs the same commands.
+GO ?= go
+
+.PHONY: build test race bench bench-json fmt vet check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over every package, including the concurrency
+# determinism tests in internal/experiments and internal/runner.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 10x .
+
+# Record the perf trajectory (BENCH_N.json; N defaults to 1).
+bench-json:
+	scripts/bench.sh $(N)
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+check: vet test race
+	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on: $$unformatted"; exit 1; fi

@@ -19,6 +19,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/partition"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/train"
 )
 
@@ -32,6 +33,10 @@ func discardTable(b *testing.B, t *report.Table, err error) {
 		b.Fatal(err)
 	}
 }
+
+// The *Serial benchmarks run on runner.Serial() (width 1); the
+// unsuffixed figure benchmarks use the default (all-CPU) pool, so
+// BENCH_*.json records the parallel-vs-serial trajectory.
 
 // BenchmarkFig5PartitionSearch regenerates the optimized parallelism
 // maps for all ten networks (Figure 5): ten hierarchical DP searches.
@@ -64,6 +69,31 @@ func BenchmarkFig6Performance(b *testing.B) {
 	}
 	gain = cmp.PerformanceGain(hypar.HyPar)
 	b.ReportMetric(gain, "gain-vs-dp")
+}
+
+// BenchmarkFig6PerformanceSerial is Fig6 pinned to one worker: the
+// serial reference the parallel fan-out is measured against.
+func BenchmarkFig6PerformanceSerial(b *testing.B) {
+	cfg := hypar.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSessionWithPool(cfg, runner.Serial())
+		t, err := s.Fig6()
+		discardTable(b, t, err)
+	}
+}
+
+// BenchmarkFig678SharedComparison measures one session regenerating
+// Figures 6, 7 and 8 together: the zoo comparison behind all three is
+// evaluated once and shared (the session cache at work).
+func BenchmarkFig678SharedComparison(b *testing.B) {
+	cfg := hypar.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(cfg)
+		for _, fig := range []func() (*report.Table, error){s.Fig6, s.Fig7, s.Fig8} {
+			t, err := fig()
+			discardTable(b, t, err)
+		}
+	}
 }
 
 // BenchmarkFig7Energy regenerates the energy-efficiency comparison
@@ -110,6 +140,16 @@ func BenchmarkFig9Exploration(b *testing.B) {
 	cfg := hypar.DefaultConfig()
 	for i := 0; i < b.N; i++ {
 		t, _, err := experiments.Fig9(cfg)
+		discardTable(b, t, err)
+	}
+}
+
+// BenchmarkFig9ExplorationSerial is Fig9 pinned to one worker.
+func BenchmarkFig9ExplorationSerial(b *testing.B) {
+	cfg := hypar.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSessionWithPool(cfg, runner.Serial())
+		t, _, err := s.Fig9()
 		discardTable(b, t, err)
 	}
 }
@@ -213,6 +253,29 @@ func BenchmarkSimulateStep(b *testing.B) {
 	cfg := hypar.DefaultConfig()
 	for i := 0; i < b.N; i++ {
 		if _, err := hypar.Run(m, hypar.HyPar, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateStepReusedEngine is BenchmarkSimulateStep on one
+// Evaluator: the engine's task slab, the arch and the memoized shapes
+// are all reused, isolating the caching layer's allocation win.
+func BenchmarkSimulateStepReusedEngine(b *testing.B) {
+	m, err := hypar.ModelByName("VGG-E")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := hypar.DefaultConfig()
+	ev := hypar.NewEvaluator()
+	plan, err := hypar.NewPlan(m, hypar.HyPar, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Simulate(m, hypar.HyPar, plan, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

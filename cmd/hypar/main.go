@@ -24,6 +24,7 @@ import (
 	hypar "repro"
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -52,9 +53,23 @@ func run(args []string, w io.Writer) error {
 		link       = fs.Float64("link", 1600, "NoC link bandwidth, Mb/s")
 		overlap    = fs.Bool("overlap", false, "overlap gradient communication (ablation)")
 		traceFile  = fs.String("trace", "", "write a Chrome trace of the simulated step to this file")
+		parallel   = fs.Bool("parallel", true, "fan experiment sweeps out over all CPUs")
+		workers    = fs.Int("workers", 0, "worker pool width (0 = GOMAXPROCS; implies -parallel)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// The evaluation harness fans out on the default runner pool;
+	// -parallel=false pins it to one worker (the serial reference
+	// path). Both widths produce bit-identical tables.
+	switch {
+	case *workers > 0:
+		runner.SetDefaultWidth(*workers)
+	case !*parallel:
+		runner.SetDefaultWidth(1)
+	default:
+		runner.SetDefaultWidth(0)
 	}
 
 	cfg := hypar.Config{
@@ -215,39 +230,42 @@ func runTraced(m *hypar.Model, strat hypar.Strategy, cfg hypar.Config,
 	return &hypar.Result{Strategy: strat, Plan: plan, Stats: stats}, nil
 }
 
-// runExperiments regenerates one or all paper artifacts.
+// runExperiments regenerates one or all paper artifacts. All figures
+// share one experiments.Session, so the zoo comparison behind Figs. 6-8
+// (and the H-tree side of Fig. 12) is evaluated once, not per figure.
 func runExperiments(which string, cfg hypar.Config, emit func(*report.Table) error) error {
-	type runner func() (*report.Table, error)
-	runners := map[string]runner{
-		"fig5": func() (*report.Table, error) { return experiments.Fig5(cfg) },
-		"fig6": func() (*report.Table, error) { return experiments.Fig6(cfg) },
-		"fig7": func() (*report.Table, error) { return experiments.Fig7(cfg) },
-		"fig8": func() (*report.Table, error) { return experiments.Fig8(cfg) },
+	s := experiments.NewSession(cfg)
+	type run func() (*report.Table, error)
+	runners := map[string]run{
+		"fig5": s.Fig5,
+		"fig6": s.Fig6,
+		"fig7": s.Fig7,
+		"fig8": s.Fig8,
 		"fig9": func() (*report.Table, error) {
-			t, _, err := experiments.Fig9(cfg)
+			t, _, err := s.Fig9()
 			return t, err
 		},
 		"fig10": func() (*report.Table, error) {
-			t, _, err := experiments.Fig10(cfg)
+			t, _, err := s.Fig10()
 			return t, err
 		},
 		"fig11": func() (*report.Table, error) {
-			t, _, err := experiments.Fig11(cfg, 6)
+			t, _, err := s.Fig11(6)
 			return t, err
 		},
-		"fig12": func() (*report.Table, error) { return experiments.Fig12(cfg) },
-		"fig13": func() (*report.Table, error) { return experiments.Fig13(cfg) },
+		"fig12": s.Fig12,
+		"fig13": s.Fig13,
 	}
-	ablations := []runner{
-		func() (*report.Table, error) { return experiments.AblationDepth(cfg, 6, "VGG-A") },
-		func() (*report.Table, error) { return experiments.AblationTopology(cfg, "VGG-A") },
-		func() (*report.Table, error) { return experiments.AblationBatch(cfg, "AlexNet") },
-		func() (*report.Table, error) { return experiments.AblationLinkBandwidth(cfg, "VGG-A") },
-		func() (*report.Table, error) { return experiments.AblationOverlap(cfg, "VGG-A") },
-		func() (*report.Table, error) { return experiments.AblationPrecision(cfg, "VGG-A") },
+	ablations := []run{
+		func() (*report.Table, error) { return s.AblationDepth(6, "VGG-A") },
+		func() (*report.Table, error) { return s.AblationTopology("VGG-A") },
+		func() (*report.Table, error) { return s.AblationBatch("AlexNet") },
+		func() (*report.Table, error) { return s.AblationLinkBandwidth("VGG-A") },
+		func() (*report.Table, error) { return s.AblationOverlap("VGG-A") },
+		func() (*report.Table, error) { return s.AblationPrecision("VGG-A") },
 	}
 
-	runOne := func(r runner) error {
+	runOne := func(r run) error {
 		t, err := r()
 		if err != nil {
 			return err

@@ -31,6 +31,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/noc"
 	"repro/internal/partition"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/tensor"
 )
@@ -262,19 +263,71 @@ type Result struct {
 
 // Run plans and simulates one training step.
 func Run(m *Model, s Strategy, c Config) (*Result, error) {
+	return NewEvaluator().Run(m, s, c)
+}
+
+// Evaluator amortizes evaluation state across Run calls: it reuses one
+// simulation engine (task slab and all) and caches the materialized
+// Arch per Config, so sweeps that evaluate many plans stop rebuilding
+// both. An Evaluator is not safe for concurrent use — fan-outs give
+// each worker its own (see runner.MapWith).
+type Evaluator struct {
+	sim   *sim.Simulator
+	archs map[Config]Arch
+}
+
+// NewEvaluator returns an empty Evaluator.
+func NewEvaluator() *Evaluator {
+	return &Evaluator{sim: sim.NewSimulator(), archs: make(map[Config]Arch)}
+}
+
+// Arch returns the simulated platform for the configuration, cached.
+func (e *Evaluator) Arch(c Config) (Arch, error) {
+	if arch, ok := e.archs[c]; ok {
+		return arch, nil
+	}
+	arch, err := BuildArch(c)
+	if err != nil {
+		return Arch{}, err
+	}
+	e.archs[c] = arch
+	return arch, nil
+}
+
+// Run plans and simulates one training step on the reusable engine.
+func (e *Evaluator) Run(m *Model, s Strategy, c Config) (*Result, error) {
 	plan, err := NewPlan(m, s, c)
 	if err != nil {
 		return nil, err
 	}
-	arch, err := BuildArch(c)
+	return e.Simulate(m, s, plan, c)
+}
+
+// Simulate evaluates an already-computed plan under the configuration.
+func (e *Evaluator) Simulate(m *Model, s Strategy, plan *Plan, c Config) (*Result, error) {
+	arch, err := e.Arch(c)
 	if err != nil {
 		return nil, err
 	}
-	stats, err := sim.Simulate(m, plan, arch)
+	stats, err := e.sim.Simulate(m, plan, arch)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{Strategy: s, Plan: plan, Stats: stats}, nil
+}
+
+// Compare runs every strategy on the model with the reusable engine,
+// serially. For the parallel fan-out use the package-level Compare.
+func (e *Evaluator) Compare(m *Model, c Config) (*Comparison, error) {
+	cmp := &Comparison{Model: m.Name, Results: make(map[Strategy]*Result, len(Strategies))}
+	for _, s := range Strategies {
+		r, err := e.Run(m, s, c)
+		if err != nil {
+			return nil, fmt.Errorf("strategy %v: %w", s, err)
+		}
+		cmp.Results[s] = r
+	}
+	return cmp, nil
 }
 
 // Comparison holds one Result per strategy for one model and config.
@@ -283,15 +336,24 @@ type Comparison struct {
 	Results map[Strategy]*Result
 }
 
-// Compare runs every strategy on the model.
+// Compare runs every strategy on the model, fanning out over the
+// default runner pool. Each strategy's evaluation is independent and
+// deterministic, so the result is identical at any pool width.
 func Compare(m *Model, c Config) (*Comparison, error) {
+	results, err := runner.MapWith(runner.Default(), Strategies, NewEvaluator,
+		func(ev *Evaluator, _ int, s Strategy) (*Result, error) {
+			r, err := ev.Run(m, s, c)
+			if err != nil {
+				return nil, fmt.Errorf("strategy %v: %w", s, err)
+			}
+			return r, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	cmp := &Comparison{Model: m.Name, Results: make(map[Strategy]*Result, len(Strategies))}
-	for _, s := range Strategies {
-		r, err := Run(m, s, c)
-		if err != nil {
-			return nil, fmt.Errorf("strategy %v: %w", s, err)
-		}
-		cmp.Results[s] = r
+	for i, s := range Strategies {
+		cmp.Results[s] = results[i]
 	}
 	return cmp, nil
 }

@@ -9,15 +9,26 @@
 // Every runner returns report tables whose rows correspond to the
 // series the paper plots, so cmd/hypar and the benchmark harness print
 // directly comparable output.
+//
+// A Session is the unit of caching and concurrency: it pins the model
+// zoo once (so shape inference memoizes across figures), computes the
+// zoo-wide strategy comparison once and shares it across Fig5-8 and
+// Fig12, and fans every independent sweep out on a runner.Pool. All
+// fan-outs collect results in deterministic input order, so a width-1
+// session and a width-N session render byte-identical tables. The
+// package-level Fig*/Ablation* functions are one-shot conveniences
+// that each build a fresh session on the default pool.
 package experiments
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	hypar "repro"
 	"repro/internal/report"
+	"repro/internal/runner"
 )
 
 // ErrExperiment reports a failed experiment precondition.
@@ -38,34 +49,113 @@ func geomean(vals []float64) float64 {
 	return math.Exp(s / float64(len(vals)))
 }
 
-// compareZoo runs all strategies over the ten zoo networks once and
-// caches nothing: each figure runner is self-contained.
-func compareZoo(cfg hypar.Config) ([]*hypar.Comparison, error) {
-	zoo := hypar.Zoo()
-	out := make([]*hypar.Comparison, 0, len(zoo))
-	for _, m := range zoo {
-		cmp, err := hypar.Compare(m, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %s: %v", ErrExperiment, m.Name, err)
-		}
-		out = append(out, cmp)
+// Session shares evaluation work between figure runners: the pinned
+// model zoo, the once-computed zoo comparison, and the worker pool all
+// fan-outs run on. Methods are safe for concurrent use.
+type Session struct {
+	cfg  hypar.Config
+	pool *runner.Pool
+
+	mu   sync.Mutex
+	zoo  []*hypar.Model
+	cmps []*hypar.Comparison
+}
+
+// NewSession creates a session on the default runner pool.
+func NewSession(cfg hypar.Config) *Session { return NewSessionWithPool(cfg, runner.Default()) }
+
+// NewSessionWithPool creates a session on an explicit pool (width 1 is
+// the serial reference path).
+func NewSessionWithPool(cfg hypar.Config, pool *runner.Pool) *Session {
+	return &Session{cfg: cfg, pool: pool}
+}
+
+// Config returns the session's base configuration.
+func (s *Session) Config() hypar.Config { return s.cfg }
+
+// Pool returns the session's worker pool.
+func (s *Session) Pool() *runner.Pool { return s.pool }
+
+// Zoo returns the session's pinned zoo models. Pinning matters: shape
+// inference memoizes per model instance, so every figure that walks
+// s.Zoo() shares one inference per (model, batch).
+func (s *Session) Zoo() []*hypar.Model {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.zoo == nil {
+		s.zoo = hypar.Zoo()
 	}
-	return out, nil
+	return s.zoo
+}
+
+// CompareZoo runs all strategies over the ten zoo networks, fanning the
+// model × strategy product out on the pool, and caches the result for
+// the session: Fig6, Fig7, Fig8 and (on the H-tree) Fig12 all read the
+// same evaluation.
+func (s *Session) CompareZoo() ([]*hypar.Comparison, error) {
+	zoo := s.Zoo()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cmps != nil {
+		return s.cmps, nil
+	}
+	type cell struct {
+		model    *hypar.Model
+		strategy hypar.Strategy
+	}
+	cells := make([]cell, 0, len(zoo)*len(hypar.Strategies))
+	for _, m := range zoo {
+		for _, st := range hypar.Strategies {
+			cells = append(cells, cell{model: m, strategy: st})
+		}
+	}
+	results, err := runner.MapWith(s.pool, cells, hypar.NewEvaluator,
+		func(ev *hypar.Evaluator, _ int, c cell) (*hypar.Result, error) {
+			r, err := ev.Run(c.model, c.strategy, s.cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %s/%v: %v", ErrExperiment, c.model.Name, c.strategy, err)
+			}
+			return r, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	cmps := make([]*hypar.Comparison, len(zoo))
+	for i, m := range zoo {
+		cmp := &hypar.Comparison{Model: m.Name, Results: make(map[hypar.Strategy]*hypar.Result, len(hypar.Strategies))}
+		for j, st := range hypar.Strategies {
+			cmp.Results[st] = results[i*len(hypar.Strategies)+j]
+		}
+		cmps[i] = cmp
+	}
+	s.cmps = cmps
+	return cmps, nil
+}
+
+// peekCompareZoo returns the cached zoo comparison without computing
+// it, so opportunistic reusers (Fig12) do not force the full fan-out.
+func (s *Session) peekCompareZoo() []*hypar.Comparison {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cmps
 }
 
 // Fig5 reports the optimized parallelism for every weighted layer of
 // the ten networks at each hierarchy level (paper Figure 5): one row
 // per layer, one 0/1 column per level (0 = dp, 1 = mp).
-func Fig5(cfg hypar.Config) (*report.Table, error) {
+func (s *Session) Fig5() (*report.Table, error) {
+	zoo := s.Zoo()
+	plans, err := runner.Map(s.pool, zoo, func(_ int, m *hypar.Model) (*hypar.Plan, error) {
+		return hypar.NewPlan(m, hypar.HyPar, s.cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable("Figure 5: optimized parallelism per layer and hierarchy level (0=dp, 1=mp)",
 		"model", "layer", "H1..H4")
-	for _, m := range hypar.Zoo() {
-		plan, err := hypar.NewPlan(m, hypar.HyPar, cfg)
-		if err != nil {
-			return nil, err
-		}
+	for i, m := range zoo {
 		for l, layer := range m.Layers {
-			if err := t.AddRow(m.Name, layer.Name, plan.LayerString(l)); err != nil {
+			if err := t.AddRow(m.Name, layer.Name, plans[i].LayerString(l)); err != nil {
 				return nil, err
 			}
 		}
@@ -76,8 +166,8 @@ func Fig5(cfg hypar.Config) (*report.Table, error) {
 // Fig6 reports training-step performance of Model Parallelism, Data
 // Parallelism and HyPar normalized to Data Parallelism (paper Figure 6),
 // with the geometric mean over the ten networks.
-func Fig6(cfg hypar.Config) (*report.Table, error) {
-	cmps, err := compareZoo(cfg)
+func (s *Session) Fig6() (*report.Table, error) {
+	cmps, err := s.CompareZoo()
 	if err != nil {
 		return nil, err
 	}
@@ -101,8 +191,8 @@ func Fig6(cfg hypar.Config) (*report.Table, error) {
 
 // Fig7 reports energy efficiency normalized to Data Parallelism (paper
 // Figure 7).
-func Fig7(cfg hypar.Config) (*report.Table, error) {
-	cmps, err := compareZoo(cfg)
+func (s *Session) Fig7() (*report.Table, error) {
+	cmps, err := s.CompareZoo()
 	if err != nil {
 		return nil, err
 	}
@@ -126,8 +216,8 @@ func Fig7(cfg hypar.Config) (*report.Table, error) {
 
 // Fig8 reports the total communication per training step in decimal GB
 // (paper Figure 8).
-func Fig8(cfg hypar.Config) (*report.Table, error) {
-	cmps, err := compareZoo(cfg)
+func (s *Session) Fig8() (*report.Table, error) {
+	cmps, err := s.CompareZoo()
 	if err != nil {
 		return nil, err
 	}
@@ -151,36 +241,60 @@ func Fig8(cfg hypar.Config) (*report.Table, error) {
 	return t, nil
 }
 
+// fig12Row is one model's pair of normalized gains.
+type fig12Row struct {
+	torus float64
+	htree float64
+}
+
 // Fig12 compares H-tree and torus topologies across the zoo, both
-// normalized to Data Parallelism on the same topology's H-tree baseline
-// (paper Figure 12).
-func Fig12(cfg hypar.Config) (*report.Table, error) {
+// normalized to the H-tree Data Parallelism baseline (paper Figure 12).
+// When the session's zoo comparison is already cached and the base
+// topology is the H-tree, the baseline and H-tree runs are reused from
+// it and only the torus runs are simulated.
+func (s *Session) Fig12() (*report.Table, error) {
 	t := report.NewTable("Figure 12: HyPar performance normalized to Data Parallelism, torus vs H tree",
 		"model", "Torus", "HTree")
-	htCfg := cfg
+	htCfg := s.cfg
 	htCfg.Topology = "htree"
-	toCfg := cfg
+	toCfg := s.cfg
 	toCfg.Topology = "torus"
+	var cached []*hypar.Comparison
+	if htCfg == s.cfg {
+		cached = s.peekCompareZoo()
+	}
+	zoo := s.Zoo()
+	rows, err := runner.MapWith(s.pool, zoo, hypar.NewEvaluator,
+		func(ev *hypar.Evaluator, i int, m *hypar.Model) (fig12Row, error) {
+			var dpHTs, hpHTs float64
+			if cached != nil {
+				dpHTs = cached[i].Results[hypar.DataParallel].Stats.StepSeconds
+				hpHTs = cached[i].Results[hypar.HyPar].Stats.StepSeconds
+			} else {
+				dpHT, err := ev.Run(m, hypar.DataParallel, htCfg)
+				if err != nil {
+					return fig12Row{}, err
+				}
+				hpHT, err := ev.Run(m, hypar.HyPar, htCfg)
+				if err != nil {
+					return fig12Row{}, err
+				}
+				dpHTs, hpHTs = dpHT.Stats.StepSeconds, hpHT.Stats.StepSeconds
+			}
+			hpTO, err := ev.Run(m, hypar.HyPar, toCfg)
+			if err != nil {
+				return fig12Row{}, err
+			}
+			return fig12Row{torus: dpHTs / hpTO.Stats.StepSeconds, htree: dpHTs / hpHTs}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	var tors, hts []float64
-	for _, m := range hypar.Zoo() {
-		// The paper normalizes both topologies to the H-tree DP run.
-		dpHT, err := hypar.Run(m, hypar.DataParallel, htCfg)
-		if err != nil {
-			return nil, err
-		}
-		hpHT, err := hypar.Run(m, hypar.HyPar, htCfg)
-		if err != nil {
-			return nil, err
-		}
-		hpTO, err := hypar.Run(m, hypar.HyPar, toCfg)
-		if err != nil {
-			return nil, err
-		}
-		tor := dpHT.Stats.StepSeconds / hpTO.Stats.StepSeconds
-		ht := dpHT.Stats.StepSeconds / hpHT.Stats.StepSeconds
-		tors = append(tors, tor)
-		hts = append(hts, ht)
-		if err := t.AddRow(m.Name, tor, ht); err != nil {
+	for i, m := range zoo {
+		tors = append(tors, rows[i].torus)
+		hts = append(hts, rows[i].htree)
+		if err := t.AddRow(m.Name, rows[i].torus, rows[i].htree); err != nil {
 			return nil, err
 		}
 	}
@@ -189,3 +303,18 @@ func Fig12(cfg hypar.Config) (*report.Table, error) {
 	}
 	return t, nil
 }
+
+// Fig5 is the one-shot form of Session.Fig5.
+func Fig5(cfg hypar.Config) (*report.Table, error) { return NewSession(cfg).Fig5() }
+
+// Fig6 is the one-shot form of Session.Fig6.
+func Fig6(cfg hypar.Config) (*report.Table, error) { return NewSession(cfg).Fig6() }
+
+// Fig7 is the one-shot form of Session.Fig7.
+func Fig7(cfg hypar.Config) (*report.Table, error) { return NewSession(cfg).Fig7() }
+
+// Fig8 is the one-shot form of Session.Fig8.
+func Fig8(cfg hypar.Config) (*report.Table, error) { return NewSession(cfg).Fig8() }
+
+// Fig12 is the one-shot form of Session.Fig12.
+func Fig12(cfg hypar.Config) (*report.Table, error) { return NewSession(cfg).Fig12() }

@@ -7,6 +7,7 @@ import (
 	hypar "repro"
 	"repro/internal/partition"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -31,18 +32,21 @@ type Exploration struct {
 }
 
 // runExploration evaluates all settings of the free variables on top of
-// the HyPar plan and simulates each.
-func runExploration(m *hypar.Model, cfg hypar.Config, free []partition.FreeVar,
+// the HyPar plan and simulates each point, fanning the simulations out
+// on the session pool. Points stay in code order and the peak/HyPar
+// reduction runs serially over them, so the result is identical at any
+// pool width.
+func (s *Session) runExploration(m *hypar.Model, free []partition.FreeVar,
 	label func(code int) map[string]string) (*Exploration, error) {
-	base, err := hypar.NewPlan(m, hypar.HyPar, cfg)
+	base, err := hypar.NewPlan(m, hypar.HyPar, s.cfg)
 	if err != nil {
 		return nil, err
 	}
-	dp, err := hypar.Run(m, hypar.DataParallel, cfg)
+	dp, err := hypar.Run(m, hypar.DataParallel, s.cfg)
 	if err != nil {
 		return nil, err
 	}
-	arch, err := hypar.BuildArch(cfg)
+	arch, err := hypar.BuildArch(s.cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -52,22 +56,28 @@ func runExploration(m *hypar.Model, cfg hypar.Config, free []partition.FreeVar,
 			hyparCode |= 1 << uint(i)
 		}
 	}
-	points, err := partition.Explore(m, cfg.Batch, base.Levels, free)
+	points, err := partition.ExploreWith(s.pool, m, s.cfg.Batch, base.Levels, free)
 	if err != nil {
 		return nil, err
 	}
-	ex := &Exploration{Points: make([]ExplorePoint, 0, len(points))}
-	for _, pt := range points {
-		stats, err := sim.Simulate(m, pt.Plan, arch)
-		if err != nil {
-			return nil, err
-		}
-		ep := ExplorePoint{
-			Labels:  label(pt.Code),
-			Gain:    dp.Stats.StepSeconds / stats.StepSeconds,
-			IsHyPar: pt.Code == hyparCode,
-		}
-		ex.Points = append(ex.Points, ep)
+	dpStep := dp.Stats.StepSeconds
+	eps, err := runner.MapWith(s.pool, points, sim.NewSimulator,
+		func(sm *sim.Simulator, _ int, pt partition.ExplorePoint) (ExplorePoint, error) {
+			stats, err := sm.Simulate(m, pt.Plan, arch)
+			if err != nil {
+				return ExplorePoint{}, err
+			}
+			return ExplorePoint{
+				Labels:  label(pt.Code),
+				Gain:    dpStep / stats.StepSeconds,
+				IsHyPar: pt.Code == hyparCode,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	ex := &Exploration{Points: eps}
+	for _, ep := range eps {
 		if ep.Gain > ex.Peak.Gain {
 			ex.Peak = ep
 		}
@@ -101,7 +111,7 @@ func bits(code, offset, width int) string {
 // over 2^8 = 256 points while H2 and H3 stay at HyPar's optimum. The
 // returned table lists the peak point, HyPar's point, and the sweep
 // sorted by gain (top ten rows).
-func Fig9(cfg hypar.Config) (*report.Table, *Exploration, error) {
+func (s *Session) Fig9() (*report.Table, *Exploration, error) {
 	m, err := hypar.ModelByName("Lenet-c")
 	if err != nil {
 		return nil, nil, err
@@ -112,7 +122,7 @@ func Fig9(cfg hypar.Config) (*report.Table, *Exploration, error) {
 		free = append(free, partition.FreeVar{Level: 0, Layer: l})
 	}
 	for l := 0; l < nl; l++ {
-		free = append(free, partition.FreeVar{Level: cfg.Levels - 1, Layer: l})
+		free = append(free, partition.FreeVar{Level: s.cfg.Levels - 1, Layer: l})
 	}
 	label := func(code int) map[string]string {
 		return map[string]string{
@@ -120,7 +130,7 @@ func Fig9(cfg hypar.Config) (*report.Table, *Exploration, error) {
 			"H4": bits(code, nl, nl),
 		}
 	}
-	ex, err := runExploration(m, cfg, free, label)
+	ex, err := s.runExploration(m, free, label)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -135,7 +145,7 @@ func Fig9(cfg hypar.Config) (*report.Table, *Exploration, error) {
 // Fig10 explores the VGG-A space (paper Figure 10): the parallelisms of
 // conv5_2 and fc1 across all four hierarchy levels sweep over 2^8 = 256
 // points while every other layer stays at HyPar's optimum.
-func Fig10(cfg hypar.Config) (*report.Table, *Exploration, error) {
+func (s *Session) Fig10() (*report.Table, *Exploration, error) {
 	m, err := hypar.ModelByName("VGG-A")
 	if err != nil {
 		return nil, nil, err
@@ -152,20 +162,20 @@ func Fig10(cfg hypar.Config) (*report.Table, *Exploration, error) {
 	if conv52 < 0 || fc1 < 0 {
 		return nil, nil, fmt.Errorf("%w: VGG-A layers not found", ErrExperiment)
 	}
-	free := make([]partition.FreeVar, 0, 2*cfg.Levels)
-	for h := 0; h < cfg.Levels; h++ {
+	free := make([]partition.FreeVar, 0, 2*s.cfg.Levels)
+	for h := 0; h < s.cfg.Levels; h++ {
 		free = append(free, partition.FreeVar{Level: h, Layer: conv52})
 	}
-	for h := 0; h < cfg.Levels; h++ {
+	for h := 0; h < s.cfg.Levels; h++ {
 		free = append(free, partition.FreeVar{Level: h, Layer: fc1})
 	}
 	label := func(code int) map[string]string {
 		return map[string]string{
-			"conv5_2": bits(code, 0, cfg.Levels),
-			"fc1":     bits(code, cfg.Levels, cfg.Levels),
+			"conv5_2": bits(code, 0, s.cfg.Levels),
+			"fc1":     bits(code, s.cfg.Levels, s.cfg.Levels),
 		}
 	}
-	ex, err := runExploration(m, cfg, free, label)
+	ex, err := s.runExploration(m, free, label)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -197,7 +207,7 @@ func addExploreRows(t *report.Table, ex *Exploration, keys []string) error {
 	}
 	sorted := make([]ExplorePoint, len(ex.Points))
 	copy(sorted, ex.Points)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Gain > sorted[j].Gain })
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Gain > sorted[j].Gain })
 	for i := 0; i < len(sorted) && i < 10; i++ {
 		if err := row(fmt.Sprintf("top%02d", i+1), sorted[i]); err != nil {
 			return err
@@ -205,3 +215,9 @@ func addExploreRows(t *report.Table, ex *Exploration, keys []string) error {
 	}
 	return nil
 }
+
+// Fig9 is the one-shot form of Session.Fig9.
+func Fig9(cfg hypar.Config) (*report.Table, *Exploration, error) { return NewSession(cfg).Fig9() }
+
+// Fig10 is the one-shot form of Session.Fig10.
+func Fig10(cfg hypar.Config) (*report.Table, *Exploration, error) { return NewSession(cfg).Fig10() }

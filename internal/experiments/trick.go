@@ -6,6 +6,7 @@ import (
 	hypar "repro"
 	"repro/internal/nn"
 	"repro/internal/report"
+	"repro/internal/runner"
 )
 
 // trickCase is one bar of the paper's Figure 13.
@@ -53,30 +54,46 @@ func fig13Cases() []trickCase {
 	return cases
 }
 
+// fig13Row is one case's pair of normalized metrics.
+type fig13Row struct {
+	perf float64
+	eff  float64
+}
+
 // Fig13 compares HyPar against Krizhevsky's "one weird trick" (paper
 // Figure 13): performance and energy efficiency of HyPar normalized to
-// the trick for each case, with geometric means.
-func Fig13(cfg hypar.Config) (*report.Table, error) {
+// the trick for each case, with geometric means. The six cases fan out
+// on the session pool.
+func (s *Session) Fig13() (*report.Table, error) {
+	cases := fig13Cases()
+	rows, err := runner.MapWith(s.pool, cases, hypar.NewEvaluator,
+		func(ev *hypar.Evaluator, _ int, tc trickCase) (fig13Row, error) {
+			c := s.cfg
+			c.Batch = tc.batch
+			c.Levels = tc.levels
+			trick, err := ev.Run(tc.model, hypar.OneWeirdTrick, c)
+			if err != nil {
+				return fig13Row{}, fmt.Errorf("%w: %s trick: %v", ErrExperiment, tc.name, err)
+			}
+			hp, err := ev.Run(tc.model, hypar.HyPar, c)
+			if err != nil {
+				return fig13Row{}, fmt.Errorf("%w: %s hypar: %v", ErrExperiment, tc.name, err)
+			}
+			return fig13Row{
+				perf: trick.Stats.StepSeconds / hp.Stats.StepSeconds,
+				eff:  trick.Stats.EnergyTotal() / hp.Stats.EnergyTotal(),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable("Figure 13: HyPar vs one weird trick (normalized to the trick)",
 		"case", "performance", "energy-efficiency")
 	var perfs, effs []float64
-	for _, tc := range fig13Cases() {
-		c := cfg
-		c.Batch = tc.batch
-		c.Levels = tc.levels
-		trick, err := hypar.Run(tc.model, hypar.OneWeirdTrick, c)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %s trick: %v", ErrExperiment, tc.name, err)
-		}
-		hp, err := hypar.Run(tc.model, hypar.HyPar, c)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %s hypar: %v", ErrExperiment, tc.name, err)
-		}
-		perf := trick.Stats.StepSeconds / hp.Stats.StepSeconds
-		eff := trick.Stats.EnergyTotal() / hp.Stats.EnergyTotal()
-		perfs = append(perfs, perf)
-		effs = append(effs, eff)
-		if err := t.AddRow(tc.name, perf, eff); err != nil {
+	for i, tc := range cases {
+		perfs = append(perfs, rows[i].perf)
+		effs = append(effs, rows[i].eff)
+		if err := t.AddRow(tc.name, rows[i].perf, rows[i].eff); err != nil {
 			return nil, err
 		}
 	}
@@ -85,3 +102,6 @@ func Fig13(cfg hypar.Config) (*report.Table, error) {
 	}
 	return t, nil
 }
+
+// Fig13 is the one-shot form of Session.Fig13.
+func Fig13(cfg hypar.Config) (*report.Table, error) { return NewSession(cfg).Fig13() }

@@ -1,0 +1,54 @@
+package nn
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// shapeKey identifies one memoized shape inference: the model instance
+// and the batch size it was run at.
+type shapeKey struct {
+	model *Model
+	batch int
+}
+
+// shapeCache memoizes Shapes results. Keyed by model pointer: callers
+// that want cache hits must reuse the same *Model across calls (the
+// experiments session pins the zoo once for exactly this reason).
+var shapeCache sync.Map // shapeKey -> []LayerShapes
+
+// shapeCacheSize tracks entries so churning workloads (thousands of
+// short-lived model instances) cannot grow the cache without bound;
+// past the limit the whole cache is dropped and rebuilt.
+var shapeCacheSize atomic.Int64
+
+// shapeCacheLimit bounds the entry count. At roughly a few KB per
+// entry this caps the cache in the tens of MB.
+const shapeCacheLimit = 4096
+
+// CachedShapes is Shapes with memoization per (model, batch). The
+// returned slice is shared between all callers and must be treated as
+// read-only; every consumer in this repository (the partition search,
+// the simulator, the training substrate) only reads it. A model must
+// not be mutated after its shapes have been cached.
+func (m *Model) CachedShapes(batch int) ([]LayerShapes, error) {
+	key := shapeKey{model: m, batch: batch}
+	if v, ok := shapeCache.Load(key); ok {
+		return v.([]LayerShapes), nil
+	}
+	shapes, err := m.Shapes(batch)
+	if err != nil {
+		return nil, err
+	}
+	// Concurrent misses may both compute; LoadOrStore keeps one winner
+	// so all callers share a single slice.
+	v, loaded := shapeCache.LoadOrStore(key, shapes)
+	if !loaded && shapeCacheSize.Add(1) > shapeCacheLimit {
+		shapeCacheSize.Store(0)
+		shapeCache.Range(func(k, _ interface{}) bool {
+			shapeCache.Delete(k)
+			return true
+		})
+	}
+	return v.([]LayerShapes), nil
+}

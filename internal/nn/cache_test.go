@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCachedShapesMatchesShapes(t *testing.T) {
+	m := VGGA()
+	want, err := m.Shapes(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.CachedShapes(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("CachedShapes differs from Shapes")
+	}
+	again, err := m.CachedShapes(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &again[0] {
+		t.Error("second CachedShapes call did not hit the cache")
+	}
+	other, err := m.CachedShapes(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(other) != len(got) || other[0].In.B != 128 {
+		t.Errorf("batch-128 shapes wrong: B=%d", other[0].In.B)
+	}
+}
+
+func TestCachedShapesErrorNotCached(t *testing.T) {
+	m := VGGA()
+	if _, err := m.CachedShapes(0); err == nil {
+		t.Fatal("batch 0 accepted")
+	}
+	if _, err := m.CachedShapes(256); err != nil {
+		t.Fatalf("valid batch rejected after error: %v", err)
+	}
+}
+
+func TestCachedShapesConcurrent(t *testing.T) {
+	m := LenetC()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := 1; b <= 32; b++ {
+				if _, err := m.CachedShapes(b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestShapeCacheEviction(t *testing.T) {
+	// Push far past the limit with churning instances; the cache must
+	// stay correct (eviction only drops memoization, never results).
+	for i := 0; i < shapeCacheLimit+64; i++ {
+		m := LenetC()
+		s, err := m.CachedShapes(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s) != 4 {
+			t.Fatalf("iteration %d: %d shapes", i, len(s))
+		}
+	}
+	if n := shapeCacheSize.Load(); n > shapeCacheLimit {
+		t.Errorf("cache size counter %d exceeds limit %d", n, shapeCacheLimit)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/nn"
+	"repro/internal/runner"
 )
 
 // BruteForce exhaustively enumerates every hierarchical assignment of
@@ -12,7 +13,17 @@ import (
 // plan with minimum total communication. The search space is
 // 2^(levels·L): it exists as the exactness reference for tests and the
 // small explorations of §6.3 — Algorithm 1/2 is the practical path.
+//
+// The enumeration fans out over chunked code ranges on the default
+// runner pool; ties on total communication resolve to the lowest code,
+// so the result is identical at any pool width (and to the historical
+// serial scan).
 func BruteForce(m *nn.Model, batch, levels int) (*Plan, error) {
+	return BruteForceWith(runner.Default(), m, batch, levels)
+}
+
+// BruteForceWith is BruteForce on an explicit pool.
+func BruteForceWith(pool *runner.Pool, m *nn.Model, batch, levels int) (*Plan, error) {
 	shapes, err := prepare(m, batch, levels)
 	if err != nil {
 		return nil, err
@@ -23,25 +34,44 @@ func BruteForce(m *nn.Model, batch, levels int) (*Plan, error) {
 		return nil, fmt.Errorf("%w: brute force over 2^%d assignments", ErrPlan, bits)
 	}
 
-	var best *Plan
-	assigns := make([]Assignment, levels)
-	for h := range assigns {
-		assigns[h] = make(Assignment, nl)
+	type chunkBest struct {
+		plan *Plan
+		code int
 	}
-	for code := 0; code < 1<<uint(bits); code++ {
-		for b := 0; b < bits; b++ {
-			p := comm.DP
-			if code&(1<<uint(b)) != 0 {
-				p = comm.MP
+	chunks := runner.Chunks(1<<uint(bits), pool.Width(), 0)
+	bests, err := runner.Map(pool, chunks, func(_ int, ck [2]int) (chunkBest, error) {
+		assigns := make([]Assignment, levels)
+		for h := range assigns {
+			assigns[h] = make(Assignment, nl)
+		}
+		best := chunkBest{code: -1}
+		for code := ck[0]; code < ck[1]; code++ {
+			for b := 0; b < bits; b++ {
+				p := comm.DP
+				if code&(1<<uint(b)) != 0 {
+					p = comm.MP
+				}
+				assigns[b/nl][b%nl] = p
 			}
-			assigns[b/nl][b%nl] = p
+			plan, err := evaluateShapes(m, batch, assigns, shapes)
+			if err != nil {
+				return chunkBest{}, err
+			}
+			if best.plan == nil || plan.TotalElems < best.plan.TotalElems {
+				best = chunkBest{plan: plan, code: code}
+			}
 		}
-		plan, err := Evaluate(m, batch, assigns)
-		if err != nil {
-			return nil, err
-		}
-		if best == nil || plan.TotalElems < best.TotalElems {
-			best = plan
+		return best, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Chunks are ordered by code range, so a strict < reduce keeps the
+	// lowest code among equal-communication plans.
+	var best *Plan
+	for _, b := range bests {
+		if b.plan != nil && (best == nil || b.plan.TotalElems < best.TotalElems) {
+			best = b.plan
 		}
 	}
 	return best, nil
@@ -64,8 +94,16 @@ type ExplorePoint struct {
 
 // Explore enumerates all 2^len(free) settings of the free cells on top
 // of the base assignment, evaluating each (Figures 9 and 10: the fixed
-// cells come from the HyPar-optimized plan, the free cells sweep).
+// cells come from the HyPar-optimized plan, the free cells sweep) on
+// the default runner pool.
 func Explore(m *nn.Model, batch int, base []Assignment, free []FreeVar) ([]ExplorePoint, error) {
+	return ExploreWith(runner.Default(), m, batch, base, free)
+}
+
+// ExploreWith is Explore on an explicit pool. Points come back indexed
+// by code, so the result is independent of the pool width the
+// enumeration ran at.
+func ExploreWith(pool *runner.Pool, m *nn.Model, batch int, base []Assignment, free []FreeVar) ([]ExplorePoint, error) {
 	if len(free) > 20 {
 		return nil, fmt.Errorf("%w: exploring 2^%d points", ErrPlan, len(free))
 	}
@@ -77,24 +115,36 @@ func Explore(m *nn.Model, batch int, base []Assignment, free []FreeVar) ([]Explo
 			return nil, fmt.Errorf("%w: free variable layer %d out of range", ErrPlan, fv.Layer)
 		}
 	}
-	work := make([]Assignment, len(base))
-	for h := range base {
-		work[h] = base[h].Clone()
+	shapes, err := prepare(m, batch, len(base))
+	if err != nil {
+		return nil, err
 	}
-	points := make([]ExplorePoint, 0, 1<<uint(len(free)))
-	for code := 0; code < 1<<uint(len(free)); code++ {
-		for i, fv := range free {
-			p := comm.DP
-			if code&(1<<uint(i)) != 0 {
-				p = comm.MP
+	n := 1 << uint(len(free))
+	points := make([]ExplorePoint, n)
+	chunks := runner.Chunks(n, pool.Width(), 0)
+	err = runner.ForEach(pool, chunks, func(_ int, ck [2]int) error {
+		work := make([]Assignment, len(base))
+		for h := range base {
+			work[h] = base[h].Clone()
+		}
+		for code := ck[0]; code < ck[1]; code++ {
+			for i, fv := range free {
+				p := comm.DP
+				if code&(1<<uint(i)) != 0 {
+					p = comm.MP
+				}
+				work[fv.Level][fv.Layer] = p
 			}
-			work[fv.Level][fv.Layer] = p
+			plan, err := evaluateShapes(m, batch, work, shapes)
+			if err != nil {
+				return err
+			}
+			points[code] = ExplorePoint{Code: code, Plan: plan}
 		}
-		plan, err := Evaluate(m, batch, work)
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, ExplorePoint{Code: code, Plan: plan})
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }

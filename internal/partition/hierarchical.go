@@ -28,6 +28,13 @@ func Evaluate(m *nn.Model, batch int, levels []Assignment) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	return evaluateShapes(m, batch, levels, shapes)
+}
+
+// evaluateShapes is Evaluate with shape inference already done, so the
+// enumeration hot paths (brute force, exploration) share one inference
+// across every plan they score.
+func evaluateShapes(m *nn.Model, batch int, levels []Assignment, shapes []nn.LayerShapes) (*Plan, error) {
 	for h, a := range levels {
 		if len(a) != len(shapes) {
 			return nil, fmt.Errorf("%w: level %d has %d choices, model %q has %d layers",
@@ -42,7 +49,7 @@ func Evaluate(m *nn.Model, batch int, levels []Assignment) (*Plan, error) {
 	return plan, nil
 }
 
-// prepare validates the request and runs shape inference.
+// prepare validates the request and runs (memoized) shape inference.
 func prepare(m *nn.Model, batch, levels int) ([]nn.LayerShapes, error) {
 	if levels < 0 {
 		return nil, fmt.Errorf("%w: negative hierarchy depth %d", ErrPlan, levels)
@@ -51,11 +58,7 @@ func prepare(m *nn.Model, batch, levels int) ([]nn.LayerShapes, error) {
 		return nil, fmt.Errorf("%w: hierarchy depth %d (2^%d accelerators) is unreasonable",
 			ErrPlan, levels, levels)
 	}
-	shapes, err := m.Shapes(batch)
-	if err != nil {
-		return nil, err
-	}
-	return shapes, nil
+	return m.CachedShapes(batch)
 }
 
 // amountsAt derives the per-pair amounts of every layer under the given

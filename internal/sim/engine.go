@@ -43,7 +43,8 @@ type Task struct {
 	Finish float64
 
 	succs   []*Task
-	pending int     // unresolved dependency count
+	npred   int     // immutable dependency count, set by After
+	pending int     // unresolved dependency count, consumed by Run
 	ready   float64 // max finish time of resolved dependencies
 	done    bool
 }
@@ -54,33 +55,82 @@ func (t *Task) After(dep *Task) *Task {
 		return t
 	}
 	dep.succs = append(dep.succs, t)
-	t.pending++
+	t.npred++
 	return t
 }
 
+// slabBlock is the fixed allocation unit of the engine's task slab.
+// Blocks are never grown past their capacity, so *Task pointers stay
+// valid across appends and across Reset/reuse cycles.
+const slabBlock = 512
+
 // Engine accumulates tasks and resources and computes the schedule.
+// A single Engine can be reused across simulations via Reset, which
+// retains the task slab and resource storage to cut allocations; an
+// Engine is not safe for concurrent use.
 type Engine struct {
 	tasks     []*Task
 	resources []*Resource
+
+	blocks [][]Task // task slab: fixed-capacity blocks, stable addresses
+	cur    int      // first block with free capacity
+	nres   int      // live resources (prefix of resources)
 }
 
 // NewEngine creates an empty engine.
 func NewEngine() *Engine { return &Engine{} }
 
-// AddResource registers and returns a named resource.
+// Reset clears the engine for a new task graph while keeping the task
+// slab and resource objects for reuse.
+func (e *Engine) Reset() {
+	e.tasks = e.tasks[:0]
+	for i := range e.blocks {
+		e.blocks[i] = e.blocks[i][:0]
+	}
+	e.cur = 0
+	e.nres = 0
+}
+
+// newTask allocates a task from the slab.
+func (e *Engine) newTask() *Task {
+	for e.cur < len(e.blocks) && len(e.blocks[e.cur]) == cap(e.blocks[e.cur]) {
+		e.cur++
+	}
+	if e.cur == len(e.blocks) {
+		e.blocks = append(e.blocks, make([]Task, 0, slabBlock))
+	}
+	b := e.blocks[e.cur]
+	e.blocks[e.cur] = b[:len(b)+1]
+	t := &e.blocks[e.cur][len(b)]
+	// Reused slots keep their succs backing array.
+	*t = Task{succs: t.succs[:0]}
+	return t
+}
+
+// AddResource registers and returns a named resource, reusing storage
+// retained by Reset when available.
 func (e *Engine) AddResource(name string) *Resource {
+	if e.nres < len(e.resources) {
+		r := e.resources[e.nres]
+		r.Name, r.free, r.busy = name, 0, 0
+		e.nres++
+		return r
+	}
 	r := NewResource(name)
 	e.resources = append(e.resources, r)
+	e.nres = len(e.resources)
 	return r
 }
 
 // AddTask registers a task with the given duration on the (possibly
-// nil) resource, depending on deps.
+// nil) resource, depending on deps. The ID may be empty when no trace
+// is collected; it is never interpreted.
 func (e *Engine) AddTask(id string, duration float64, res *Resource, deps ...*Task) (*Task, error) {
 	if duration < 0 || math.IsNaN(duration) || math.IsInf(duration, 0) {
 		return nil, fmt.Errorf("%w: task %q has duration %g", ErrSim, id, duration)
 	}
-	t := &Task{ID: id, Duration: duration, Resource: res}
+	t := e.newTask()
+	t.ID, t.Duration, t.Resource = id, duration, res
 	for _, d := range deps {
 		t.After(d)
 	}
@@ -117,11 +167,25 @@ func (h *readyHeap) Pop() interface{} {
 // Run schedules every task and returns the makespan. Tasks bound to a
 // resource are served in ready order (FIFO per resource); independent
 // tasks overlap freely. Run fails on dependency cycles.
+//
+// Run is reentrant: it rebuilds all scheduling state (pending counts,
+// ready times, resource availability) from the declared graph, so a
+// second Run on the same engine reproduces the first run's schedule
+// instead of silently consuming stale state.
 func (e *Engine) Run() (float64, error) {
+	for i := 0; i < e.nres; i++ {
+		r := e.resources[i]
+		r.free, r.busy = 0, 0
+	}
 	var rh readyHeap
 	seq := 0
 	for _, t := range e.tasks {
 		t.done = false
+		t.pending = t.npred
+		t.ready = 0
+		t.Start, t.Finish = 0, 0
+	}
+	for _, t := range e.tasks {
 		if t.pending == 0 {
 			heap.Push(&rh, readyItem{task: t, seq: seq})
 			seq++

@@ -120,13 +120,35 @@ func (s *Stats) EnergyTotal() float64 {
 // exchange gradient partial sums on the level links (contending with
 // backward traffic), followed by the local weight update.
 func Simulate(m *nn.Model, plan *partition.Plan, arch Arch) (*Stats, error) {
+	return simulateOn(NewEngine(), m, plan, arch)
+}
+
+// Simulator owns a reusable engine so repeated simulations (sweeps,
+// explorations, zoo comparisons) stop reallocating the task slab. A
+// Simulator is not safe for concurrent use: give each worker its own
+// (runner.MapWith exists for exactly that).
+type Simulator struct {
+	eng *Engine
+}
+
+// NewSimulator returns a Simulator with an empty engine.
+func NewSimulator() *Simulator { return &Simulator{eng: NewEngine()} }
+
+// Simulate is Simulate on the reusable engine.
+func (s *Simulator) Simulate(m *nn.Model, plan *partition.Plan, arch Arch) (*Stats, error) {
+	s.eng.Reset()
+	return simulateOn(s.eng, m, plan, arch)
+}
+
+// simulateOn compiles and runs one training step on the given engine.
+func simulateOn(eng *Engine, m *nn.Model, plan *partition.Plan, arch Arch) (*Stats, error) {
 	if err := arch.Validate(); err != nil {
 		return nil, err
 	}
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
-	shapes, err := m.Shapes(plan.Batch)
+	shapes, err := m.CachedShapes(plan.Batch)
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +170,8 @@ func Simulate(m *nn.Model, plan *partition.Plan, arch Arch) (*Stats, error) {
 		shapes: shapes,
 		plan:   plan,
 		arch:   arch,
-		eng:    NewEngine(),
+		eng:    eng,
+		named:  arch.CollectTrace,
 		stats:  &Stats{CommSeconds: make([]float64, levels)},
 	}
 	if err := b.build(); err != nil {
@@ -179,6 +202,7 @@ type stepBuilder struct {
 	plan   *partition.Plan
 	arch   Arch
 	eng    *Engine
+	named  bool // format task names (only needed for trace export)
 	stats  *Stats
 
 	compute *Resource
@@ -233,6 +257,15 @@ func (b *stepBuilder) workingSet() float64 {
 		total += (2*w + in + 2*out) * es
 	}
 	return total
+}
+
+// taskName formats "prefix/layer" when names are collected and returns
+// the empty string otherwise, keeping fmt off the hot path.
+func (b *stepBuilder) taskName(prefix string, l int) string {
+	if !b.named {
+		return ""
+	}
+	return prefix + "/" + b.shapes[l].Layer.Name
 }
 
 // phaseTask adds one compute+DRAM task for a phase of a layer and
@@ -313,7 +346,11 @@ func (b *stepBuilder) transferChain(name string, vols func(h int) float64, prev 
 			return nil, err
 		}
 		b.stats.EnergyLink += b.arch.HMC.LinkEnergy(linkBytes)
-		t, err := b.eng.AddTask(fmt.Sprintf("%s@H%d", name, h+1), dur, b.links[h], prev)
+		id := ""
+		if b.named {
+			id = fmt.Sprintf("%s@H%d", name, h+1)
+		}
+		t, err := b.eng.AddTask(id, dur, b.links[h], prev)
 		if err != nil {
 			return nil, err
 		}
@@ -330,18 +367,18 @@ func (b *stepBuilder) buildForward() (*Task, error) {
 		if prev != nil {
 			deps = append(deps, prev)
 		}
-		ct, err := b.phaseTask(fmt.Sprintf("fwd/%s", b.shapes[l].Layer.Name), l, nn.Forward, deps...)
+		ct, err := b.phaseTask(b.taskName("fwd", l), l, nn.Forward, deps...)
 		if err != nil {
 			return nil, err
 		}
 		// mp partial-sum exchange of F_{l+1}, level by level.
-		t, err := b.transferChain(fmt.Sprintf("fwd-psum/%s", b.shapes[l].Layer.Name),
+		t, err := b.transferChain(b.taskName("fwd-psum", l),
 			func(h int) float64 { return b.plan.Details[h].IntraFwd[l] }, ct)
 		if err != nil {
 			return nil, err
 		}
 		// Inter-layer F conversion toward layer l+1.
-		t, err = b.transferChain(fmt.Sprintf("fwd-conv/%s", b.shapes[l].Layer.Name),
+		t, err = b.transferChain(b.taskName("fwd-conv", l),
 			func(h int) float64 { return b.plan.Details[h].InterF[l] }, t)
 		if err != nil {
 			return nil, err
@@ -362,12 +399,12 @@ func (b *stepBuilder) buildBackwardGradient(fwdDone *Task) error {
 	prev := fwdDone // E_L comes out of the loss right after forward
 	for l := nl - 1; l >= 0; l-- {
 		// Gradient for layer l consumes E_{l+1}, available in prev.
-		gt, err := b.phaseTask(fmt.Sprintf("grad/%s", b.shapes[l].Layer.Name), l, nn.Gradient, prev)
+		gt, err := b.phaseTask(b.taskName("grad", l), l, nn.Gradient, prev)
 		if err != nil {
 			return err
 		}
 		// dp gradient partial-sum exchange (allreduce), level by level.
-		gTail, err := b.transferChain(fmt.Sprintf("grad-psum/%s", b.shapes[l].Layer.Name),
+		gTail, err := b.transferChain(b.taskName("grad-psum", l),
 			func(h int) float64 { return b.plan.Details[h].IntraGrad[l] }, gt)
 		if err != nil {
 			return err
@@ -379,12 +416,12 @@ func (b *stepBuilder) buildBackwardGradient(fwdDone *Task) error {
 			// E_0 is never consumed: no backward compute for layer 0.
 			break
 		}
-		ct, err := b.phaseTask(fmt.Sprintf("bwd/%s", b.shapes[l].Layer.Name), l, nn.Backward, prev)
+		ct, err := b.phaseTask(b.taskName("bwd", l), l, nn.Backward, prev)
 		if err != nil {
 			return err
 		}
 		// Inter-layer E conversion across the l-1 / l boundary.
-		t, err := b.transferChain(fmt.Sprintf("bwd-conv/%s", b.shapes[l].Layer.Name),
+		t, err := b.transferChain(b.taskName("bwd-conv", l),
 			func(h int) float64 { return b.plan.Details[h].InterE[l-1] }, ct)
 		if err != nil {
 			return err

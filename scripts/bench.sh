@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# bench.sh — run the benchmark suite and record the perf trajectory.
+#
+# Usage:  scripts/bench.sh [N]
+#
+# Emits BENCH_N.json (default N=1) at the repository root: ns/op for
+# every benchmark plus host metadata, so successive PRs can be compared
+# point by point. Key pairs to watch:
+#
+#   BenchmarkFig6Performance    vs BenchmarkFig6PerformanceSerial
+#   BenchmarkFig9Exploration    vs BenchmarkFig9ExplorationSerial
+#   BenchmarkSimulateStep       vs BenchmarkSimulateStepReusedEngine
+#
+# BENCHTIME overrides the per-benchmark iteration count (default 10x;
+# use a duration like 1s for lower variance on quiet machines).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+n="${1:-1}"
+out="BENCH_${n}.json"
+benchtime="${BENCHTIME:-10x}"
+
+raw="$(go test -run '^$' -bench . -benchtime "$benchtime" .)"
+echo "$raw"
+
+echo "$raw" | awk -v out="$out" -v benchtime="$benchtime" \
+	-v goversion="$(go env GOVERSION)" -v maxprocs="$(nproc 2>/dev/null || echo 1)" '
+/^Benchmark/ {
+	name=$1
+	sub(/-[0-9]+$/, "", name)
+	ns[name]=$3
+	order[++i]=name
+}
+END {
+	printf "{\n" > out
+	printf "  \"schema\": \"bench-v1\",\n" >> out
+	printf "  \"go\": \"%s\",\n", goversion >> out
+	printf "  \"cpus\": %s,\n", maxprocs >> out
+	printf "  \"benchtime\": \"%s\",\n", benchtime >> out
+	printf "  \"ns_per_op\": {\n" >> out
+	for (j=1; j<=i; j++) {
+		printf "    \"%s\": %s%s\n", order[j], ns[order[j]], (j<i ? "," : "") >> out
+	}
+	printf "  }\n}\n" >> out
+}'
+echo "wrote ${out}"
