@@ -1,7 +1,7 @@
 # Development entry points; CI runs the same commands.
 GO ?= go
 
-.PHONY: build test race bench bench-json fmt vet check
+.PHONY: build test race bench bench-json fmt vet check fuzz cover serve
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,18 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Short fuzz pass over every fuzz target (CI runs the same budget).
+fuzz:
+	$(GO) test -fuzz='^FuzzDecodeModel$$' -fuzztime=10s -run '^$$' ./internal/nn
+	$(GO) test -fuzz='^FuzzLayerValidate$$' -fuzztime=10s -run '^$$' ./internal/nn
+
+cover:
+	$(GO) test -cover -coverprofile=coverage.out ./...
+
+# Run the evaluation service on :8080.
+serve:
+	$(GO) run ./cmd/hypard -addr :8080
 
 check: vet test race
 	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \

@@ -111,18 +111,9 @@ func runModel(name, strategyName string, planOnly bool, traceFile string, cfg hy
 	if err != nil {
 		return err
 	}
-	var strat hypar.Strategy
-	switch strings.ToLower(strategyName) {
-	case "hypar":
-		strat = hypar.HyPar
-	case "dp", "dataparallel":
-		strat = hypar.DataParallel
-	case "mp", "modelparallel":
-		strat = hypar.ModelParallel
-	case "trick", "oneweirdtrick":
-		strat = hypar.OneWeirdTrick
-	default:
-		return fmt.Errorf("unknown strategy %q (hypar, dp, mp, trick)", strategyName)
+	strat, err := hypar.ParseStrategy(strategyName)
+	if err != nil {
+		return err
 	}
 
 	plan, err := hypar.NewPlan(m, strat, cfg)

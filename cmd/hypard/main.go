@@ -1,0 +1,111 @@
+// Command hypard serves the HyPar evaluation library over HTTP/JSON: a
+// long-running daemon exposing planning (/v1/plan), simulation
+// (/v1/evaluate), strategy comparison (/v1/compare) and streamed
+// parallelism-space sweeps (/v1/explore NDJSON), with request
+// coalescing and a bounded result cache in front of one shared
+// evaluator. See the README's "hypard service" section for the request
+// schema and curl examples.
+//
+// Usage:
+//
+//	hypard -addr :8080
+//	hypard -addr :8080 -workers 4 -cache 512 -batch 256 -levels 4
+//
+// SIGINT/SIGTERM drain in-flight requests and exit cleanly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	hypar "repro"
+	"repro/internal/runner"
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "hypard:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags, binds the listener and serves until SIGINT/SIGTERM
+// (or, in tests, until the stop func handed to ready is called). Split
+// from main for testing.
+func run(args []string, w io.Writer, ready func(addr string, stop func())) error {
+	fs := flag.NewFlagSet("hypard", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		workers  = fs.Int("workers", 0, "worker pool width (0 = GOMAXPROCS)")
+		cache    = fs.Int("cache", service.DefaultCacheEntries, "result cache entries (negative disables)")
+		batch    = fs.Int("batch", 256, "default mini-batch size")
+		levels   = fs.Int("levels", 4, "default hierarchy depth H (2^H accelerators)")
+		topology = fs.String("topology", "htree", "default topology: htree | torus | ideal")
+		link     = fs.Float64("link", 1600, "default NoC link bandwidth, Mb/s")
+		drain    = fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	pool := runner.New(*workers)
+	srv, err := service.New(service.Options{
+		Config: hypar.Config{
+			Batch: *batch, Levels: *levels, Topology: *topology, LinkMbps: *link,
+		},
+		Pool:         pool,
+		CacheEntries: *cache,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "hypard: listening on %s (pool width %d, cache %d entries)\n",
+		ln.Addr(), pool.Width(), *cache)
+
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	requestStop := func() { stopOnce.Do(func() { close(stop) }) }
+	if ready != nil {
+		ready(ln.Addr().String(), requestStop)
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sig)
+		go func() {
+			s := <-sig
+			log.Printf("hypard: received %v, draining", s)
+			requestStop()
+		}()
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-stop:
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		return <-errCh
+	}
+}

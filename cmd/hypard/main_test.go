@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeAndShutdown boots the daemon on an ephemeral port, exercises
+// the endpoints over real HTTP, and drains it cleanly.
+func TestServeAndShutdown(t *testing.T) {
+	type readyInfo struct {
+		addr string
+		stop func()
+	}
+	readyCh := make(chan readyInfo, 1)
+	errCh := make(chan error, 1)
+	var out strings.Builder
+	go func() {
+		errCh <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1"}, &out,
+			func(addr string, stop func()) { readyCh <- readyInfo{addr: addr, stop: stop} })
+	}()
+
+	var ri readyInfo
+	select {
+	case ri = <-readyCh:
+	case err := <-errCh:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + ri.addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	var hz map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hz["status"] != "ok" {
+		t.Fatalf("healthz: %v", hz)
+	}
+
+	pr, err := http.Post(base+"/v1/plan", "application/json",
+		strings.NewReader(`{"zoo":"Lenet-c"}`))
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	body, _ := io.ReadAll(pr.Body)
+	pr.Body.Close()
+	if pr.StatusCode != http.StatusOK {
+		t.Fatalf("plan: status %d: %s", pr.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"model":"Lenet-c"`) {
+		t.Errorf("plan body: %s", body)
+	}
+
+	ri.stop()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon never drained")
+	}
+	if !strings.Contains(out.String(), "listening on") {
+		t.Errorf("startup banner missing: %q", out.String())
+	}
+}
+
+// TestBadFlags rejects an invalid base config at startup.
+func TestBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-topology", "mesh"}, &out, nil); err == nil {
+		t.Fatal("invalid topology accepted")
+	}
+	if err := run([]string{"-batch", "-3"}, &out, nil); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+}
+
+// TestBusyPort surfaces a bind failure instead of hanging.
+func TestBusyPort(t *testing.T) {
+	type readyInfo struct {
+		addr string
+		stop func()
+	}
+	readyCh := make(chan readyInfo, 1)
+	errCh := make(chan error, 1)
+	var out strings.Builder
+	go func() {
+		errCh <- run([]string{"-addr", "127.0.0.1:0"}, &out,
+			func(addr string, stop func()) { readyCh <- readyInfo{addr, stop} })
+	}()
+	ri := <-readyCh
+	defer func() {
+		ri.stop()
+		<-errCh
+	}()
+
+	var out2 strings.Builder
+	if err := run([]string{"-addr", ri.addr}, &out2, nil); err == nil {
+		t.Fatal("second bind on a busy port succeeded")
+	} else if !strings.Contains(fmt.Sprint(err), "address already in use") {
+		t.Logf("bind error (accepted): %v", err)
+	}
+}

@@ -1,0 +1,7 @@
+// Package examples anchors the runnable example programs in the
+// subdirectories (quickstart, customnet, explore, scalability,
+// training). Each subdirectory is its own main package, run with
+// `go run ./examples/<name>`; this package exists so the directory
+// carries the compile-and-run smoke test that keeps every example
+// working (see examples_test.go).
+package examples

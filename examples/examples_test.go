@@ -1,0 +1,64 @@
+package examples
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun go-runs every example program against its built-in
+// tiny demo configuration and asserts a zero exit. This is the only
+// coverage the examples have — they are main packages, invisible to
+// ordinary `go test ./...` — so a signature drift or a panic in any of
+// them fails here instead of in a user's first copy-paste.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test skipped in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not in PATH")
+	}
+	root, err := filepath.Abs("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	sort.Strings(dirs)
+	if len(dirs) == 0 {
+		t.Fatal("no example directories found")
+	}
+
+	for _, dir := range dirs {
+		t.Run(dir, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, goBin, "run", "./examples/"+dir)
+			cmd.Dir = root
+			out, err := cmd.CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("example %s timed out:\n%s", dir, out)
+			}
+			if err != nil {
+				t.Fatalf("example %s exited non-zero: %v\n%s", dir, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", dir)
+			}
+		})
+	}
+}

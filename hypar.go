@@ -25,8 +25,10 @@
 package hypar
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/nn"
 	"repro/internal/noc"
@@ -123,27 +125,81 @@ func (s Strategy) String() string {
 	}
 }
 
+// ParseStrategy resolves a strategy from its wire spelling. Accepted
+// names (case-insensitive): "hypar", "dp"/"dataparallel",
+// "mp"/"modelparallel", "trick"/"oneweirdtrick". The CLI flags and the
+// hypard service both parse through here.
+func ParseStrategy(name string) (Strategy, error) {
+	switch strings.ToLower(name) {
+	case "hypar":
+		return HyPar, nil
+	case "dp", "dataparallel":
+		return DataParallel, nil
+	case "mp", "modelparallel":
+		return ModelParallel, nil
+	case "trick", "oneweirdtrick":
+		return OneWeirdTrick, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown strategy %q (hypar, dp, mp, trick)", ErrConfig, name)
+	}
+}
+
+// MarshalJSON renders the strategy by name.
+func (s Strategy) MarshalJSON() ([]byte, error) {
+	switch s {
+	case HyPar, DataParallel, ModelParallel, OneWeirdTrick:
+		return json.Marshal(s.String())
+	default:
+		return nil, fmt.Errorf("%w: unknown strategy %v", ErrConfig, s)
+	}
+}
+
+// UnmarshalJSON parses a strategy name (ParseStrategy spellings).
+func (s *Strategy) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return fmt.Errorf("%w: strategy: %v", ErrConfig, err)
+	}
+	parsed, err := ParseStrategy(name)
+	if err != nil {
+		return err
+	}
+	*s = parsed
+	return nil
+}
+
 // Strategies lists all supported strategies in report order.
 var Strategies = []Strategy{ModelParallel, DataParallel, OneWeirdTrick, HyPar}
 
 // Config selects the workload and platform parameters.
 type Config struct {
 	// Batch is the mini-batch size (paper default: 256).
-	Batch int
+	Batch int `json:"batch"`
 	// Levels is the hierarchy depth H; the array has 2^H accelerators
 	// (paper default: 4 → 16 accelerators).
-	Levels int
+	Levels int `json:"levels"`
 	// Topology is "htree" (default), "torus" or "ideal".
-	Topology string
+	Topology string `json:"topology"`
 	// LinkMbps is the NoC link bandwidth (paper default: 1600 Mb/s).
-	LinkMbps float64
+	LinkMbps float64 `json:"linkMbps"`
 	// OverlapGradComm enables the communication-hiding runtime
 	// ablation (off by default, matching the paper's phase-serial
 	// simulator).
-	OverlapGradComm bool
+	OverlapGradComm bool `json:"overlapGradComm,omitempty"`
 	// Precision selects the element width: "fp32" (paper default,
 	// empty means fp32), "fp16" or "int8" for precision ablations.
-	Precision string
+	Precision string `json:"precision,omitempty"`
+}
+
+// Canonical normalizes the configuration to its canonical equivalent:
+// the empty precision becomes the explicit "fp32" it means. Two configs
+// with identical semantics therefore marshal to identical JSON — the
+// property the hypard request hash relies on.
+func (c Config) Canonical() Config {
+	if c.Precision == "" {
+		c.Precision = "fp32"
+	}
+	return c
 }
 
 // DefaultConfig returns the paper's evaluation setup: batch 256,
@@ -188,6 +244,9 @@ func (c Config) dtype() (tensor.DType, error) {
 		return tensor.Float32, fmt.Errorf("%w: unknown precision %q (fp32, fp16, int8)", ErrConfig, c.Precision)
 	}
 }
+
+// DType resolves the configured precision to the tensor element type.
+func (c Config) DType() (DType, error) { return c.dtype() }
 
 // BuildArch materializes the simulated platform for the configuration.
 func BuildArch(c Config) (Arch, error) {

@@ -15,6 +15,9 @@ import (
 // exploration: the free-variable bit codes and the performance
 // normalized to Data Parallelism.
 type ExplorePoint struct {
+	// Code enumerates the free variables: bit i (LSB first) is the
+	// choice of free[i] (0 = dp, 1 = mp).
+	Code int
 	// Labels maps each swept entity to its 0/1 choice string (e.g.
 	// "H1" -> "0011" for Fig. 9, "conv5_2" -> "1000" for Fig. 10).
 	Labels map[string]string
@@ -31,24 +34,42 @@ type Exploration struct {
 	HyPar  ExplorePoint
 }
 
-// runExploration evaluates all settings of the free variables on top of
-// the HyPar plan and simulates each point, fanning the simulations out
-// on the session pool. Points stay in code order and the peak/HyPar
-// reduction runs serially over them, so the result is identical at any
-// pool width.
-func (s *Session) runExploration(m *hypar.Model, free []partition.FreeVar,
-	label func(code int) map[string]string) (*Exploration, error) {
+// DefaultExploreLabel names each free variable "L<level>.<layer>" and
+// renders its single 0/1 bit — the label function services and tools
+// use when no figure-specific grouping applies.
+func DefaultExploreLabel(free []partition.FreeVar) func(code int) map[string]string {
+	return func(code int) map[string]string {
+		labels := make(map[string]string, len(free))
+		for i, fv := range free {
+			labels[fmt.Sprintf("L%d.%d", fv.Level, fv.Layer)] = bits(code, i, 1)
+		}
+		return labels
+	}
+}
+
+// ExploreStream evaluates all 2^len(free) settings of the free
+// variables on top of the model's HyPar plan, simulates each point on
+// the session pool, and hands the points to emit in code order as they
+// become ready — point p's emission does not wait for the sweep's tail,
+// so NDJSON consumers see results immediately. label may be nil
+// (DefaultExploreLabel is used). An emit error cancels the remaining
+// sweep and is returned.
+func (s *Session) ExploreStream(m *hypar.Model, free []partition.FreeVar,
+	label func(code int) map[string]string, emit func(ExplorePoint) error) error {
+	if label == nil {
+		label = DefaultExploreLabel(free)
+	}
 	base, err := hypar.NewPlan(m, hypar.HyPar, s.cfg)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	dp, err := hypar.Run(m, hypar.DataParallel, s.cfg)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	arch, err := hypar.BuildArch(s.cfg)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	var hyparCode int
 	for i, fv := range free {
@@ -58,22 +79,38 @@ func (s *Session) runExploration(m *hypar.Model, free []partition.FreeVar,
 	}
 	points, err := partition.ExploreWith(s.pool, m, s.cfg.Batch, base.Levels, free)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	dpStep := dp.Stats.StepSeconds
-	eps, err := runner.MapWith(s.pool, points, sim.NewSimulator,
+	return runner.StreamWith(s.pool, points, sim.NewSimulator,
 		func(sm *sim.Simulator, _ int, pt partition.ExplorePoint) (ExplorePoint, error) {
 			stats, err := sm.Simulate(m, pt.Plan, arch)
 			if err != nil {
 				return ExplorePoint{}, err
 			}
 			return ExplorePoint{
+				Code:    pt.Code,
 				Labels:  label(pt.Code),
 				Gain:    dpStep / stats.StepSeconds,
 				IsHyPar: pt.Code == hyparCode,
 			}, nil
-		})
-	if err != nil {
+		},
+		func(_ int, ep ExplorePoint) error { return emit(ep) })
+}
+
+// Explore evaluates all settings of the free variables on top of the
+// HyPar plan and simulates each point, fanning the simulations out on
+// the session pool. Points stay in code order and the peak/HyPar
+// reduction runs serially over them, so the result is identical at any
+// pool width. Fig9 and Fig10 are zoo-specific instances; arbitrary
+// models (the hypard /v1/explore endpoint) come through here too.
+func (s *Session) Explore(m *hypar.Model, free []partition.FreeVar,
+	label func(code int) map[string]string) (*Exploration, error) {
+	eps := make([]ExplorePoint, 0, 1<<uint(len(free)))
+	if err := s.ExploreStream(m, free, label, func(ep ExplorePoint) error {
+		eps = append(eps, ep)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
 	ex := &Exploration{Points: eps}
@@ -130,7 +167,7 @@ func (s *Session) Fig9() (*report.Table, *Exploration, error) {
 			"H4": bits(code, nl, nl),
 		}
 	}
-	ex, err := s.runExploration(m, free, label)
+	ex, err := s.Explore(m, free, label)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -175,7 +212,7 @@ func (s *Session) Fig10() (*report.Table, *Exploration, error) {
 			"fc1":     bits(code, s.cfg.Levels, s.cfg.Levels),
 		}
 	}
-	ex, err := s.runExploration(m, free, label)
+	ex, err := s.Explore(m, free, label)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	hypar "repro"
+	"repro/internal/report"
+	"repro/internal/runner"
+)
+
+// -update regenerates the golden files from the current implementation:
+//
+//	go test ./internal/experiments -run Golden -update
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden files")
+
+// goldenFigures names the paper tables pinned byte-for-byte. Fig6/7/8
+// are the headline results (performance, energy, communication across
+// the ten-network zoo); if an implementation change shifts any number,
+// the diff must be reviewed and the goldens regenerated deliberately —
+// paper numbers cannot drift silently.
+func goldenFigures() map[string]func(*Session) (*report.Table, error) {
+	return map[string]func(*Session) (*report.Table, error){
+		"fig6": (*Session).Fig6,
+		"fig7": (*Session).Fig7,
+		"fig8": (*Session).Fig8,
+	}
+}
+
+// TestGoldenFigures renders Fig6/7/8 on the serial reference pool and
+// compares the text tables byte-for-byte with testdata/golden.
+func TestGoldenFigures(t *testing.T) {
+	s := NewSessionWithPool(hypar.DefaultConfig(), runner.Serial())
+	for name, figure := range goldenFigures() {
+		t.Run(name, func(t *testing.T) {
+			tbl, err := figure(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got bytes.Buffer
+			if err := tbl.WriteText(&got); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", name+".txt")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, got.Len())
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Errorf("%s drifted from golden file (regenerate with -update if intentional):\n--- golden\n%s\n--- got\n%s",
+					name, want, got.Bytes())
+			}
+		})
+	}
+}

@@ -1,0 +1,177 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ErrCodec reports malformed JSON model input.
+var ErrCodec = errors.New("nn: invalid model JSON")
+
+// Decode limits: a request must not smuggle in an absurd network. The
+// zoo's largest member (VGG-E) has 19 weighted layers; user networks
+// get two orders of magnitude of headroom.
+const (
+	// MaxJSONLayers bounds the number of weighted layers a decoded
+	// model may declare.
+	MaxJSONLayers = 1024
+	// MaxJSONBytes bounds the serialized model size DecodeModel accepts.
+	MaxJSONBytes = 1 << 20
+)
+
+// layerJSON is the wire form of one weighted layer. Field order is the
+// canonical serialization order.
+type layerJSON struct {
+	Name   string `json:"name"`
+	Type   string `json:"type"`
+	K      int    `json:"k,omitempty"`
+	Stride int    `json:"stride,omitempty"`
+	Pad    int    `json:"pad,omitempty"`
+	Cout   int    `json:"cout"`
+	Pool   int    `json:"pool,omitempty"`
+	Act    string `json:"act,omitempty"`
+}
+
+// inputJSON is the wire form of the input geometry.
+type inputJSON struct {
+	H int `json:"h"`
+	W int `json:"w"`
+	C int `json:"c"`
+}
+
+// modelJSON is the wire form of a model.
+type modelJSON struct {
+	Name   string      `json:"name"`
+	Input  inputJSON   `json:"input"`
+	Layers []layerJSON `json:"layers"`
+}
+
+// parseLayerType maps the wire spelling to a LayerType.
+func parseLayerType(s string) (LayerType, error) {
+	switch strings.ToLower(s) {
+	case "conv":
+		return Conv, nil
+	case "fc":
+		return FC, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown layer type %q (conv, fc)", ErrCodec, s)
+	}
+}
+
+// parseActivation maps the wire spelling to an Activation. The empty
+// string selects ReLU, the zoo default.
+func parseActivation(s string) (Activation, error) {
+	switch strings.ToLower(s) {
+	case "", "relu":
+		return ReLU, nil
+	case "sigmoid":
+		return Sigmoid, nil
+	case "tanh":
+		return Tanh, nil
+	case "softmax":
+		return Softmax, nil
+	case "none":
+		return NoAct, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown activation %q (relu, sigmoid, tanh, softmax, none)", ErrCodec, s)
+	}
+}
+
+// DecodeModel parses a strict JSON network description and validates
+// it. Unknown fields, trailing data, oversized payloads and any model
+// that fails Model.Validate are rejected; a nil error therefore
+// guarantees a model the planner and simulator accept.
+func DecodeModel(data []byte) (*Model, error) {
+	if len(data) > MaxJSONBytes {
+		return nil, fmt.Errorf("%w: %d bytes exceeds the %d-byte limit", ErrCodec, len(data), MaxJSONBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var mj modelJSON
+	if err := dec.Decode(&mj); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	// Reject trailing garbage after the single JSON value.
+	if err := trailingData(dec); err != nil {
+		return nil, err
+	}
+	return modelFromJSON(&mj)
+}
+
+// trailingData errors unless the decoder has consumed the whole input
+// (modulo trailing whitespace).
+func trailingData(dec *json.Decoder) error {
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("%w: trailing data after model object", ErrCodec)
+	}
+	return nil
+}
+
+// modelFromJSON converts and validates the wire form.
+func modelFromJSON(mj *modelJSON) (*Model, error) {
+	if len(mj.Layers) > MaxJSONLayers {
+		return nil, fmt.Errorf("%w: %d layers exceeds the %d-layer limit", ErrCodec, len(mj.Layers), MaxJSONLayers)
+	}
+	m := &Model{
+		Name:  mj.Name,
+		Input: Input{H: mj.Input.H, W: mj.Input.W, C: mj.Input.C},
+	}
+	m.Layers = make([]Layer, 0, len(mj.Layers))
+	for i, lj := range mj.Layers {
+		t, err := parseLayerType(lj.Type)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d (%q): %w", i, lj.Name, err)
+		}
+		act, err := parseActivation(lj.Act)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d (%q): %w", i, lj.Name, err)
+		}
+		m.Layers = append(m.Layers, Layer{
+			Name: lj.Name, Type: t,
+			K: lj.K, Stride: lj.Stride, Pad: lj.Pad,
+			Cout: lj.Cout, Pool: lj.Pool, Act: act,
+		})
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	return m, nil
+}
+
+// EncodeModel renders the model in canonical JSON: fixed field order,
+// no insignificant whitespace, defaults normalized (stride and pool
+// unset or 1 are omitted, ReLU is omitted). Two models with identical
+// semantics therefore serialize to identical bytes — the property the
+// service's request hash relies on. The model must be valid.
+func EncodeModel(m *Model) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	mj := modelJSON{
+		Name:   m.Name,
+		Input:  inputJSON{H: m.Input.H, W: m.Input.W, C: m.Input.C},
+		Layers: make([]layerJSON, 0, len(m.Layers)),
+	}
+	for _, l := range m.Layers {
+		lj := layerJSON{Name: l.Name, Type: l.Type.String(), Cout: l.Cout}
+		if l.Type == Conv {
+			lj.K = l.K
+			if s := l.stride(); s != 1 {
+				lj.Stride = s
+			}
+			lj.Pad = l.Pad
+		}
+		if p := l.pool(); p != 1 {
+			lj.Pool = p
+		}
+		if l.Act != ReLU {
+			lj.Act = l.Act.String()
+		}
+		mj.Layers = append(mj.Layers, lj)
+	}
+	return json.Marshal(&mj)
+}

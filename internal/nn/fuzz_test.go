@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeModel hammers the JSON model codec: arbitrary bytes must
+// either decode to a fully valid model (round-trippable through the
+// canonical encoding) or return an error — never panic. The checked-in
+// corpus under testdata/fuzz/FuzzDecodeModel seeds the interesting
+// shapes; `go test -fuzz=FuzzDecodeModel ./internal/nn` explores from
+// there.
+func FuzzDecodeModel(f *testing.F) {
+	f.Add([]byte(`{"name":"t","input":{"h":8,"w":8,"c":3},"layers":[{"name":"c1","type":"conv","k":3,"pad":1,"cout":4,"pool":2},{"name":"f1","type":"fc","cout":10,"act":"softmax"}]}`))
+	f.Add([]byte(`{"name":"fc-only","input":{"h":1,"w":1,"c":16},"layers":[{"name":"f","type":"fc","cout":1}]}`))
+	f.Add([]byte(`{"name":"","input":{},"layers":[]}`))
+	f.Add([]byte(`{"name":"x","input":{"h":-1,"w":0,"c":9e99},"layers":[{"type":"conv"}]}`))
+	f.Add([]byte(`{"unknown":true}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"name":"x","input":{"h":8,"w":8,"c":3},"layers":[{"name":"l","type":"fc","cout":10}]}trailing`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeModel(data)
+		if err != nil {
+			if m != nil {
+				t.Fatal("error with non-nil model")
+			}
+			return
+		}
+		// A decode success must be a model the whole pipeline accepts.
+		if err := m.Validate(); err != nil {
+			t.Fatalf("decoded model fails validation: %v", err)
+		}
+		enc, err := EncodeModel(m)
+		if err != nil {
+			t.Fatalf("decoded model fails canonical encoding: %v", err)
+		}
+		m2, err := DecodeModel(enc)
+		if err != nil {
+			t.Fatalf("canonical form does not re-decode: %v\n%s", err, enc)
+		}
+		enc2, err := EncodeModel(m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding is not a fixed point:\n%s\n%s", enc, enc2)
+		}
+	})
+}
+
+// FuzzLayerValidate hammers Layer.Validate over arbitrary
+// hyper-parameters: it must classify, never panic, and an accepted
+// conv layer must expose sane effective stride/pool.
+func FuzzLayerValidate(f *testing.F) {
+	f.Add("conv1", int8(0), 3, 1, 1, 64, 2, int8(0))
+	f.Add("fc1", int8(1), 0, 0, 0, 4096, 0, int8(3))
+	f.Add("", int8(2), -1, -1, -1, -1, -1, int8(9))
+	f.Add("x", int8(0), 0, 0, 0, 0, 0, int8(0))
+	f.Fuzz(func(t *testing.T, name string, typ int8, k, stride, pad, cout, pool int, act int8) {
+		l := Layer{
+			Name: name, Type: LayerType(typ),
+			K: k, Stride: stride, Pad: pad,
+			Cout: cout, Pool: pool, Act: Activation(act),
+		}
+		err := l.Validate()
+		_ = l.Type.String()
+		_ = l.Act.String()
+		if err != nil {
+			return
+		}
+		// Accepted layers must have usable effective geometry.
+		if l.stride() < 1 || l.pool() < 1 {
+			t.Fatalf("valid layer with stride %d pool %d", l.stride(), l.pool())
+		}
+		if l.Cout <= 0 {
+			t.Fatal("valid layer with non-positive Cout")
+		}
+		m := &Model{Name: "f", Input: Input{H: 32, W: 32, C: 3}, Layers: []Layer{l}}
+		// Shape inference on a valid single-layer model must never
+		// panic; it may still error (e.g. conv kernel larger than the
+		// padded input), which is fine.
+		_, _ = m.Shapes(2)
+	})
+}

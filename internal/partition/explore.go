@@ -34,17 +34,13 @@ func BruteForceWith(pool *runner.Pool, m *nn.Model, batch, levels int) (*Plan, e
 		return nil, fmt.Errorf("%w: brute force over 2^%d assignments", ErrPlan, bits)
 	}
 
-	type chunkBest struct {
-		plan *Plan
-		code int
-	}
 	chunks := runner.Chunks(1<<uint(bits), pool.Width(), 0)
-	bests, err := runner.Map(pool, chunks, func(_ int, ck [2]int) (chunkBest, error) {
+	bests, err := runner.Map(pool, chunks, func(_ int, ck [2]int) (*Plan, error) {
 		assigns := make([]Assignment, levels)
 		for h := range assigns {
 			assigns[h] = make(Assignment, nl)
 		}
-		best := chunkBest{code: -1}
+		var best *Plan
 		for code := ck[0]; code < ck[1]; code++ {
 			for b := 0; b < bits; b++ {
 				p := comm.DP
@@ -55,10 +51,10 @@ func BruteForceWith(pool *runner.Pool, m *nn.Model, batch, levels int) (*Plan, e
 			}
 			plan, err := evaluateShapes(m, batch, assigns, shapes)
 			if err != nil {
-				return chunkBest{}, err
+				return nil, err
 			}
-			if best.plan == nil || plan.TotalElems < best.plan.TotalElems {
-				best = chunkBest{plan: plan, code: code}
+			if best == nil || plan.TotalElems < best.TotalElems {
+				best = plan
 			}
 		}
 		return best, nil
@@ -66,12 +62,13 @@ func BruteForceWith(pool *runner.Pool, m *nn.Model, batch, levels int) (*Plan, e
 	if err != nil {
 		return nil, err
 	}
-	// Chunks are ordered by code range, so a strict < reduce keeps the
-	// lowest code among equal-communication plans.
+	// Within a chunk the scan ascends by code and the reduce below walks
+	// chunks in code order, so the strict < keeps the lowest code among
+	// equal-communication plans — identical at any pool width.
 	var best *Plan
 	for _, b := range bests {
-		if b.plan != nil && (best == nil || b.plan.TotalElems < best.TotalElems) {
-			best = b.plan
+		if b != nil && (best == nil || b.TotalElems < best.TotalElems) {
+			best = b
 		}
 	}
 	return best, nil

@@ -18,6 +18,7 @@
 package runner
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -182,6 +183,127 @@ func MapWith[S, T, R any](p *Pool, items []T, newState func() S, fn func(s S, i 
 		return nil, err
 	}
 	return out, nil
+}
+
+// errStreamStopped is the sentinel workers return once the consumer has
+// aborted a Stream; it never escapes to the caller.
+var errStreamStopped = errors.New("runner: stream stopped by consumer")
+
+// Stream applies fn to every item on the pool and hands each result to
+// emit in input order, while later items are still being computed: item
+// i's emit only waits for items 0..i, not for the whole batch. emit runs
+// on the calling goroutine, so it may write to non-thread-safe sinks
+// (an http.ResponseWriter, a terminal). An emit error cancels the
+// remaining computation and is returned. With width 1 the behavior is
+// compute-then-emit per item, the serial reference path.
+func Stream[T, R any](p *Pool, items []T, fn func(i int, item T) (R, error), emit func(i int, r R) error) error {
+	return StreamWith(p, items, func() struct{} { return struct{}{} },
+		func(_ struct{}, i int, item T) (R, error) { return fn(i, item) }, emit)
+}
+
+// StreamWith is Stream with per-worker state (see MapWith). Workers
+// stay at most 2·width items ahead of the emit cursor, so a slow
+// consumer bounds buffering and an emit error cancels outstanding work
+// promptly instead of after the whole batch.
+func StreamWith[S, T, R any](p *Pool, items []T, newState func() S,
+	fn func(s S, i int, item T) (R, error), emit func(i int, r R) error) error {
+	n := len(items)
+	if n == 0 {
+		return nil
+	}
+	width := p.Width()
+	if width > n {
+		width = n
+	}
+	window := 2 * width
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		out      = make([]R, n)
+		ready    = make([]bool, n)
+		emitNext int  // next index the consumer will emit
+		done     bool // producer finished
+		failIdx  = -1 // lowest index whose fn call failed
+		failErr  error
+		stopped  atomic.Bool // consumer aborted
+		states   = make([]S, width)
+		made     = make([]bool, width)
+		doneCh   = make(chan struct{})
+	)
+	go func() {
+		// The p.run error is the errStreamStopped sentinel whenever fn
+		// failed (real errors are recorded in failIdx/failErr instead,
+		// because a window-waiting worker can abort with the sentinel at
+		// a lower index than the real failure), so it is ignored here.
+		_ = p.run(n, func(worker, i int) error {
+			mu.Lock()
+			for i >= emitNext+window && !stopped.Load() && failIdx == -1 {
+				cond.Wait()
+			}
+			aborted := stopped.Load() || failIdx != -1
+			mu.Unlock()
+			if aborted {
+				return errStreamStopped
+			}
+			if !made[worker] {
+				states[worker] = newState()
+				made[worker] = true
+			}
+			r, err := fn(states[worker], i, items[i])
+			mu.Lock()
+			if err != nil {
+				if failIdx == -1 || i < failIdx {
+					failIdx, failErr = i, err
+				}
+			} else {
+				out[i] = r
+				ready[i] = true
+			}
+			cond.Broadcast()
+			mu.Unlock()
+			if err != nil {
+				return errStreamStopped
+			}
+			return nil
+		})
+		mu.Lock()
+		done = true
+		cond.Broadcast()
+		mu.Unlock()
+		close(doneCh)
+	}()
+
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		for !ready[i] && !done {
+			cond.Wait()
+		}
+		ok := ready[i]
+		r := out[i]
+		mu.Unlock()
+		if !ok {
+			// The producer finished without computing item i: it failed
+			// on an earlier error, surfaced below.
+			break
+		}
+		if err := emit(i, r); err != nil {
+			stopped.Store(true)
+			mu.Lock()
+			cond.Broadcast()
+			mu.Unlock()
+			<-doneCh
+			return err
+		}
+		mu.Lock()
+		emitNext = i + 1
+		cond.Broadcast()
+		mu.Unlock()
+	}
+	<-doneCh
+	mu.Lock()
+	err := failErr
+	mu.Unlock()
+	return err
 }
 
 // Chunks splits [0, n) into roughly perChunk-sized half-open ranges so

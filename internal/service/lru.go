@@ -1,0 +1,69 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a bounded, thread-safe LRU over rendered responses keyed
+// by request hash. Entry count (not bytes) is the bound: response
+// bodies are small and uniform except for explore sweeps, whose point
+// count the handler already caps.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+}
+
+// lruEntry is one cached response with its key (needed for eviction).
+type lruEntry struct {
+	key  string
+	resp response
+}
+
+// newLRU builds a cache bounded to max entries; max <= 0 disables
+// caching (every Get misses, every Put is dropped).
+func newLRU(max int) *lruCache {
+	return &lruCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached response and marks it most recently used.
+func (c *lruCache) Get(key string) (response, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return response{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).resp, true
+}
+
+// Put inserts or refreshes the response, evicting the least recently
+// used entries beyond the bound.
+func (c *lruCache) Put(key string, resp response) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).resp = resp
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, resp: resp})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the current entry count.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

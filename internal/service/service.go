@@ -1,0 +1,886 @@
+// Package service exposes the HyPar library as a long-running HTTP/JSON
+// evaluation service — the serving surface of cmd/hypard. Four POST
+// endpoints cover the library's planning and evaluation API:
+//
+//	POST /v1/plan      partition one network (no simulation)
+//	POST /v1/evaluate  partition + simulate one training step
+//	POST /v1/compare   all four strategies, with Fig6/7 normalizations
+//	POST /v1/explore   parallelism-space sweep, streamed as NDJSON
+//
+// plus GET /healthz (liveness) and GET /statsz (per-endpoint metrics).
+// Requests name either a zoo network ("zoo") or carry a full JSON
+// network description ("model", see nn.DecodeModel); the configuration
+// is a partial override of the server's base config.
+//
+// Every request canonicalizes to a deterministic SHA-256 hash. Identical
+// concurrent requests coalesce onto one evaluation (singleflight) and
+// completed responses live in a bounded LRU keyed by that hash, so a
+// response is rendered once and replayed byte-for-byte — the evaluation
+// path is deterministic, which makes byte-identical replay exact, not
+// approximate.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	hypar "repro"
+	"repro/internal/experiments"
+	"repro/internal/nn"
+	"repro/internal/partition"
+	"repro/internal/runner"
+)
+
+// ErrService reports an invalid service request.
+var ErrService = errors.New("service: invalid request")
+
+// Request limits.
+const (
+	// MaxRequestBytes bounds a request body.
+	MaxRequestBytes = 2 << 20
+	// MaxFreeVars bounds an exploration sweep to 2^MaxFreeVars points.
+	MaxFreeVars = 12
+	// DefaultCacheEntries is the result-cache bound when Options leaves
+	// CacheEntries zero.
+	DefaultCacheEntries = 256
+)
+
+// Options configures a Server.
+type Options struct {
+	// Config is the base evaluation configuration; request configs are
+	// partial overrides of it. The zero value means hypar.DefaultConfig.
+	Config hypar.Config
+	// Pool is the worker pool sweeps fan out on (nil = runner.Default).
+	Pool *runner.Pool
+	// CacheEntries bounds the response LRU (0 = DefaultCacheEntries,
+	// negative = caching disabled).
+	CacheEntries int
+	// OnCompute, when set, is invoked once per actual evaluation — after
+	// cache and coalescing, not once per request. Tests hook it to prove
+	// N identical concurrent requests evaluate exactly once.
+	OnCompute func(endpoint, key string)
+}
+
+// endpointStats aggregates one endpoint's counters.
+type endpointStats struct {
+	requests  atomic.Int64
+	errors    atomic.Int64
+	cacheHits atomic.Int64
+	coalesced atomic.Int64
+	computes  atomic.Int64
+	latencyNs atomic.Int64
+}
+
+// statsSnapshot is the JSON form of one endpoint's counters.
+type statsSnapshot struct {
+	Requests  int64 `json:"requests"`
+	Errors    int64 `json:"errors"`
+	CacheHits int64 `json:"cacheHits"`
+	Coalesced int64 `json:"coalesced"`
+	Computes  int64 `json:"computes"`
+	LatencyNs int64 `json:"latencyNs"`
+}
+
+// snapshot captures the counters.
+func (e *endpointStats) snapshot() statsSnapshot {
+	return statsSnapshot{
+		Requests:  e.requests.Load(),
+		Errors:    e.errors.Load(),
+		CacheHits: e.cacheHits.Load(),
+		Coalesced: e.coalesced.Load(),
+		Computes:  e.computes.Load(),
+		LatencyNs: e.latencyNs.Load(),
+	}
+}
+
+// Server is the evaluation service: one shared experiments.Session and
+// hypar.Evaluator behind a coalescing, caching HTTP surface.
+type Server struct {
+	base    hypar.Config
+	pool    *runner.Pool
+	session *experiments.Session
+
+	// evaluators recycles single-threaded hypar.Evaluators (engine slab
+	// + per-config Arch cache) across requests: concurrent distinct
+	// requests each borrow their own, so they parallelize, while the
+	// amortized state still gets reused instead of rebuilt.
+	evaluators sync.Pool
+
+	cache     *lruCache
+	flight    flightGroup
+	models    *modelCache
+	onCompute func(endpoint, key string)
+
+	mux     *http.ServeMux
+	hs      *http.Server
+	start   time.Time
+	metrics map[string]*endpointStats
+}
+
+// New builds a Server. The base config is validated eagerly so a
+// misconfigured daemon fails at startup, not per request.
+func New(opts Options) (*Server, error) {
+	cfg := opts.Config
+	if cfg == (hypar.Config{}) {
+		cfg = hypar.DefaultConfig()
+	}
+	cfg = cfg.Canonical()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pool := opts.Pool
+	if pool == nil {
+		pool = runner.Default()
+	}
+	entries := opts.CacheEntries
+	if entries == 0 {
+		entries = DefaultCacheEntries
+	}
+	s := &Server{
+		base:      cfg,
+		pool:      pool,
+		session:   experiments.NewSessionWithPool(cfg, pool),
+		cache:     newLRU(entries),
+		onCompute: opts.OnCompute,
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		metrics:   make(map[string]*endpointStats),
+	}
+	// WriteTimeout bounds how long one stalled client can hold a
+	// response open. This matters beyond hygiene: the /v1/explore
+	// leader streams while holding its singleflight key, so without a
+	// write deadline a client that stops reading would wedge that key
+	// (and every coalesced follower) indefinitely. Two minutes is two
+	// orders of magnitude above the largest permitted sweep's compute
+	// time.
+	s.hs = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       time.Minute,
+	}
+	s.evaluators.New = func() any { return hypar.NewEvaluator() }
+	s.models = &modelCache{max: 1024, m: make(map[string]*nn.Model)}
+	for _, ep := range []string{"plan", "evaluate", "compare", "explore", "healthz", "statsz"} {
+		s.metrics[ep] = &endpointStats{}
+	}
+	s.mux.HandleFunc("/v1/plan", s.post("plan", s.handlePlan))
+	s.mux.HandleFunc("/v1/evaluate", s.post("evaluate", s.handleEvaluate))
+	s.mux.HandleFunc("/v1/compare", s.post("compare", s.handleCompare))
+	s.mux.HandleFunc("/v1/explore", s.post("explore", s.handleExplore))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	s.hs.Addr = addr
+	err := s.hs.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Serve serves on an existing listener until Shutdown. The underlying
+// http.Server exists from New on, so a Shutdown that races ahead of
+// Serve still wins: Serve returns immediately instead of accepting
+// forever.
+func (s *Server) Serve(l net.Listener) error {
+	err := s.hs.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains in-flight requests and stops the listener.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.hs.Shutdown(ctx)
+}
+
+// pinnedZoo looks a zoo model up among the session's pinned instances
+// (nil if unknown).
+func (s *Server) pinnedZoo(name string) *nn.Model {
+	for _, m := range s.session.Zoo() {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// sessionFor returns the shared session when the request runs at the
+// server's base config (so zoo pinning and the cached zoo comparison
+// are reused) and a fresh session on the same pool otherwise.
+func (s *Server) sessionFor(cfg hypar.Config) *experiments.Session {
+	if cfg == s.base {
+		return s.session
+	}
+	return experiments.NewSessionWithPool(cfg, s.pool)
+}
+
+// ---------------------------------------------------------------------------
+// Request parsing
+
+// modelCache dedupes decoded user models by canonical JSON. The shape
+// cache in internal/nn memoizes per *Model pointer, so handing repeated
+// identical submissions the same instance is what makes their shape
+// inference hit; the bound keeps hostile all-unique traffic from
+// holding thousands of dead models (past it, flush and rebuild, the
+// same idiom nn's shape cache uses).
+type modelCache struct {
+	mu  sync.Mutex
+	max int
+	m   map[string]*nn.Model
+}
+
+// intern returns the cached instance for the canonical bytes, storing m
+// as the new canonical instance on a miss.
+func (c *modelCache) intern(key string, m *nn.Model) *nn.Model {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if got, ok := c.m[key]; ok {
+		return got
+	}
+	if len(c.m) >= c.max {
+		c.m = make(map[string]*nn.Model)
+	}
+	c.m[key] = m
+	return m
+}
+
+// freeVarJSON is the wire form of one exploration free variable.
+type freeVarJSON struct {
+	Level int `json:"level"`
+	Layer int `json:"layer"`
+}
+
+// request is the common POST body: a model reference, an optional
+// strategy and a partial config override. Explore adds free variables.
+// Strategy parses through hypar.Strategy's UnmarshalJSON (ParseStrategy
+// spellings), so an unknown name fails the body decode as a 400.
+type request struct {
+	Zoo      string          `json:"zoo,omitempty"`
+	Model    json.RawMessage `json:"model,omitempty"`
+	Strategy *hypar.Strategy `json:"strategy,omitempty"`
+	Config   json.RawMessage `json:"config,omitempty"`
+	Free     []freeVarJSON   `json:"free,omitempty"`
+}
+
+// httpError carries a status code with the error.
+type httpError struct {
+	code int
+	err  error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
+
+// badRequest wraps err as a 400.
+func badRequest(err error) error { return &httpError{code: http.StatusBadRequest, err: err} }
+
+// parsed is a fully resolved request.
+type parsed struct {
+	model     *nn.Model
+	modelJSON []byte // canonical bytes, hash input
+	strategy  hypar.Strategy
+	cfg       hypar.Config
+	free      []partition.FreeVar
+}
+
+// parseRequest decodes, resolves and canonicalizes a request body.
+// Fields that are meaningless for the endpoint (strategy on compare and
+// explore, free outside explore) are rejected rather than silently
+// folded into the request hash — accepting them would give semantically
+// identical requests different keys, defeating coalescing and caching.
+func (s *Server) parseRequest(r *http.Request, wantStrategy, wantFree bool) (*parsed, error) {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	var req request
+	if err := dec.Decode(&req); err != nil {
+		return nil, badRequest(fmt.Errorf("%w: body: %v", ErrService, err))
+	}
+
+	p := &parsed{strategy: hypar.HyPar}
+	switch {
+	case req.Zoo != "" && req.Model != nil:
+		return nil, badRequest(fmt.Errorf(`%w: both "zoo" and "model" given`, ErrService))
+	case req.Zoo != "":
+		// Resolve against the session's pinned zoo so every request for
+		// the same network shares one *Model instance (shape inference
+		// memoizes per pointer).
+		m := s.pinnedZoo(req.Zoo)
+		if m == nil {
+			_, err := hypar.ModelByName(req.Zoo)
+			return nil, &httpError{code: http.StatusNotFound, err: err}
+		}
+		p.model = m
+	case req.Model != nil:
+		m, err := nn.DecodeModel(req.Model)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		p.model = m
+	default:
+		return nil, badRequest(fmt.Errorf(`%w: one of "zoo" or "model" is required`, ErrService))
+	}
+	enc, err := nn.EncodeModel(p.model)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	p.modelJSON = enc
+	if req.Model != nil {
+		p.model = s.models.intern(string(enc), p.model)
+	}
+
+	if req.Strategy != nil {
+		if !wantStrategy {
+			return nil, badRequest(fmt.Errorf(`%w: "strategy" is not accepted here`, ErrService))
+		}
+		p.strategy = *req.Strategy
+	}
+
+	p.cfg = s.base
+	if req.Config != nil {
+		cdec := json.NewDecoder(strings.NewReader(string(req.Config)))
+		cdec.DisallowUnknownFields()
+		if err := cdec.Decode(&p.cfg); err != nil {
+			return nil, badRequest(fmt.Errorf("%w: config: %v", ErrService, err))
+		}
+	}
+	p.cfg = p.cfg.Canonical()
+	if err := p.cfg.Validate(); err != nil {
+		return nil, badRequest(err)
+	}
+
+	if len(req.Free) > 0 && !wantFree {
+		return nil, badRequest(fmt.Errorf(`%w: "free" is not accepted here`, ErrService))
+	}
+	if len(req.Free) > MaxFreeVars {
+		return nil, badRequest(fmt.Errorf("%w: %d free variables exceeds the %d-variable (2^%d points) limit",
+			ErrService, len(req.Free), MaxFreeVars, MaxFreeVars))
+	}
+	for _, fv := range req.Free {
+		if fv.Level < 0 || fv.Level >= p.cfg.Levels {
+			return nil, badRequest(fmt.Errorf("%w: free variable level %d out of range [0,%d)", ErrService, fv.Level, p.cfg.Levels))
+		}
+		if fv.Layer < 0 || fv.Layer >= len(p.model.Layers) {
+			return nil, badRequest(fmt.Errorf("%w: free variable layer %d out of range [0,%d)", ErrService, fv.Layer, len(p.model.Layers)))
+		}
+		p.free = append(p.free, partition.FreeVar{Level: fv.Level, Layer: fv.Layer})
+	}
+	return p, nil
+}
+
+// key derives the deterministic request hash: SHA-256 over the endpoint
+// and every canonicalized request component. Two requests that mean the
+// same evaluation — whatever their field order, whitespace, default
+// spelling or config shorthand — hash identically.
+func (p *parsed) key(endpoint string) string {
+	cfgJSON, _ := json.Marshal(p.cfg) // struct marshal cannot fail
+	h := sha256.New()
+	for _, part := range [][]byte{[]byte(endpoint), p.modelJSON, cfgJSON, []byte(p.strategy.String())} {
+		h.Write(part)
+		h.Write([]byte{0})
+	}
+	for _, fv := range p.free {
+		fmt.Fprintf(h, "%d.%d,", fv.Level, fv.Layer)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ---------------------------------------------------------------------------
+// Response shapes
+
+// layerAssignJSON is one layer's hierarchical choice string.
+type layerAssignJSON struct {
+	Name   string `json:"name"`
+	Assign string `json:"assign"` // H1..Hh 0/1 marks, e.g. "0001"
+}
+
+// planJSON is the wire form of a partition plan.
+type planJSON struct {
+	Levels       int               `json:"levels"`
+	Accelerators int               `json:"accelerators"`
+	Layers       []layerAssignJSON `json:"layers"`
+	TotalElems   float64           `json:"totalElems"`
+	TotalBytes   float64           `json:"totalBytes"`
+}
+
+// statsJSON is the wire form of one simulated training step.
+type statsJSON struct {
+	StepSeconds     float64   `json:"stepSeconds"`
+	ComputeSeconds  float64   `json:"computeSeconds"`
+	CommSeconds     []float64 `json:"commSeconds"`
+	CommBytes       float64   `json:"commBytes"`
+	DRAMBytes       float64   `json:"dramBytes"`
+	PeakMemoryBytes float64   `json:"peakMemoryBytes"`
+	FitsMemory      bool      `json:"fitsMemory"`
+	EnergyCompute   float64   `json:"energyCompute"`
+	EnergySRAM      float64   `json:"energySRAM"`
+	EnergyDRAM      float64   `json:"energyDRAM"`
+	EnergyLink      float64   `json:"energyLink"`
+	EnergyTotal     float64   `json:"energyTotal"`
+	Tasks           int       `json:"tasks"`
+}
+
+// planToJSON renders a plan.
+func planToJSON(p *hypar.Plan, m *nn.Model, cfg hypar.Config) planJSON {
+	pj := planJSON{
+		Levels:       p.NumLevels(),
+		Accelerators: p.NumAccelerators(),
+		Layers:       make([]layerAssignJSON, 0, len(m.Layers)),
+		TotalElems:   p.TotalElems,
+	}
+	if dt, err := cfg.DType(); err == nil {
+		pj.TotalBytes = p.TotalBytes(dt)
+	}
+	for l, layer := range m.Layers {
+		pj.Layers = append(pj.Layers, layerAssignJSON{Name: layer.Name, Assign: p.LayerString(l)})
+	}
+	return pj
+}
+
+// statsToJSON renders step statistics.
+func statsToJSON(st *hypar.Stats) statsJSON {
+	return statsJSON{
+		StepSeconds:     st.StepSeconds,
+		ComputeSeconds:  st.ComputeSeconds,
+		CommSeconds:     st.CommSeconds,
+		CommBytes:       st.CommBytes,
+		DRAMBytes:       st.DRAMBytes,
+		PeakMemoryBytes: st.PeakMemoryBytes,
+		FitsMemory:      st.FitsMemory,
+		EnergyCompute:   st.EnergyCompute,
+		EnergySRAM:      st.EnergySRAM,
+		EnergyDRAM:      st.EnergyDRAM,
+		EnergyLink:      st.EnergyLink,
+		EnergyTotal:     st.EnergyTotal(),
+		Tasks:           st.Tasks,
+	}
+}
+
+// planResponse answers /v1/plan.
+type planResponse struct {
+	Model    string         `json:"model"`
+	Strategy hypar.Strategy `json:"strategy"`
+	Config   hypar.Config   `json:"config"`
+	Plan     planJSON       `json:"plan"`
+}
+
+// evaluateResponse answers /v1/evaluate.
+type evaluateResponse struct {
+	planResponse
+	Stats statsJSON `json:"stats"`
+}
+
+// strategyResult is one strategy's outcome inside /v1/compare.
+type strategyResult struct {
+	Plan  planJSON  `json:"plan"`
+	Stats statsJSON `json:"stats"`
+}
+
+// gainsJSON carries the Fig6/Fig7 normalizations.
+type gainsJSON struct {
+	Performance      float64 `json:"performance"`
+	EnergyEfficiency float64 `json:"energyEfficiency"`
+}
+
+// compareResponse answers /v1/compare.
+type compareResponse struct {
+	Model   string                    `json:"model"`
+	Config  hypar.Config              `json:"config"`
+	Results map[string]strategyResult `json:"results"`
+	Gains   map[string]gainsJSON      `json:"gains"`
+}
+
+// explorePointJSON is one NDJSON line of /v1/explore.
+type explorePointJSON struct {
+	Type    string            `json:"type"` // "point"
+	Code    int               `json:"code"`
+	Labels  map[string]string `json:"labels"`
+	Gain    float64           `json:"gain"`
+	IsHyPar bool              `json:"isHyPar"`
+}
+
+// exploreHeaderJSON is the first NDJSON line of /v1/explore.
+type exploreHeaderJSON struct {
+	Type   string       `json:"type"` // "header"
+	Model  string       `json:"model"`
+	Config hypar.Config `json:"config"`
+	Points int          `json:"points"`
+}
+
+// exploreSummaryJSON is the last NDJSON line of /v1/explore.
+type exploreSummaryJSON struct {
+	Type  string           `json:"type"` // "summary"
+	Peak  explorePointJSON `json:"peak"`
+	HyPar explorePointJSON `json:"hypar"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---------------------------------------------------------------------------
+// Handler plumbing
+
+// post wraps a handler with method enforcement and metrics.
+func (s *Server) post(endpoint string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	m := s.metrics[endpoint]
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		m.requests.Add(1)
+		if r.Method != http.MethodPost {
+			m.errors.Add(1)
+			s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("%w: use POST", ErrService))
+			return
+		}
+		if err := h(w, r); err != nil {
+			m.errors.Add(1)
+			code := http.StatusInternalServerError
+			var he *httpError
+			if errors.As(err, &he) {
+				code = he.code
+			}
+			s.writeError(w, code, err)
+		}
+		m.latencyNs.Add(time.Since(t0).Nanoseconds())
+	}
+}
+
+// writeError renders the uniform error body.
+func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}
+
+// writeResponse replays a rendered response.
+func writeResponse(w http.ResponseWriter, resp response) {
+	w.Header().Set("Content-Type", resp.contentType)
+	_, _ = w.Write(resp.body)
+}
+
+// serveCached runs the cache → singleflight → compute pipeline for a
+// fully-rendered JSON response and writes it.
+func (s *Server) serveCached(endpoint, key string, w http.ResponseWriter, compute func() (response, error)) error {
+	m := s.metrics[endpoint]
+	if resp, ok := s.cache.Get(key); ok {
+		m.cacheHits.Add(1)
+		writeResponse(w, resp)
+		return nil
+	}
+	resp, err, leader := s.flight.Do(key, func() (response, error) {
+		// Double-check: a racing leader may have populated the cache
+		// between this request's miss and its turn in the flight. The
+		// re-check makes "identical requests evaluate once" exact, not
+		// just overwhelmingly likely.
+		if resp, ok := s.cache.Get(key); ok {
+			m.cacheHits.Add(1)
+			return resp, nil
+		}
+		m.computes.Add(1)
+		if s.onCompute != nil {
+			s.onCompute(endpoint, key)
+		}
+		resp, err := compute()
+		if err == nil {
+			s.cache.Put(key, resp)
+		}
+		return resp, err
+	})
+	if !leader {
+		m.coalesced.Add(1)
+	}
+	if err != nil {
+		return err
+	}
+	writeResponse(w, resp)
+	return nil
+}
+
+// jsonResponse marshals v as a compact JSON response body.
+func jsonResponse(v any) (response, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return response{}, err
+	}
+	return response{contentType: "application/json", body: append(b, '\n')}, nil
+}
+
+// runShared evaluates one (model, strategy, config) on a pooled
+// evaluator. Each evaluator is single-threaded by design (it reuses one
+// simulation engine), so a request borrows one for the duration of the
+// call; distinct concurrent requests run on distinct evaluators and
+// the cache/singleflight layer above keeps redundant evaluations from
+// ever reaching this point.
+func (s *Server) runShared(m *nn.Model, st hypar.Strategy, cfg hypar.Config) (*hypar.Result, error) {
+	ev := s.evaluators.Get().(*hypar.Evaluator)
+	defer s.evaluators.Put(ev)
+	return ev.Run(m, st, cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Endpoints
+
+// handlePlan answers POST /v1/plan.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) error {
+	p, err := s.parseRequest(r, true, false)
+	if err != nil {
+		return err
+	}
+	return s.serveCached("plan", p.key("plan"), w, func() (response, error) {
+		plan, err := hypar.NewPlan(p.model, p.strategy, p.cfg)
+		if err != nil {
+			return response{}, badRequest(err)
+		}
+		return jsonResponse(planResponse{
+			Model:    p.model.Name,
+			Strategy: p.strategy,
+			Config:   p.cfg,
+			Plan:     planToJSON(plan, p.model, p.cfg),
+		})
+	})
+}
+
+// handleEvaluate answers POST /v1/evaluate.
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) error {
+	p, err := s.parseRequest(r, true, false)
+	if err != nil {
+		return err
+	}
+	return s.serveCached("evaluate", p.key("evaluate"), w, func() (response, error) {
+		res, err := s.runShared(p.model, p.strategy, p.cfg)
+		if err != nil {
+			return response{}, badRequest(err)
+		}
+		return jsonResponse(evaluateResponse{
+			planResponse: planResponse{
+				Model:    p.model.Name,
+				Strategy: p.strategy,
+				Config:   p.cfg,
+				Plan:     planToJSON(res.Plan, p.model, p.cfg),
+			},
+			Stats: statsToJSON(res.Stats),
+		})
+	})
+}
+
+// handleCompare answers POST /v1/compare.
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) error {
+	p, err := s.parseRequest(r, false, false)
+	if err != nil {
+		return err
+	}
+	return s.serveCached("compare", p.key("compare"), w, func() (response, error) {
+		resp := compareResponse{
+			Model:   p.model.Name,
+			Config:  p.cfg,
+			Results: make(map[string]strategyResult, len(hypar.Strategies)),
+			Gains:   make(map[string]gainsJSON, len(hypar.Strategies)),
+		}
+		// The four strategies are independent; fan them out on the
+		// server pool (each worker borrowing a pooled evaluator).
+		results, err := runner.Map(s.pool, hypar.Strategies,
+			func(_ int, st hypar.Strategy) (*hypar.Result, error) {
+				res, err := s.runShared(p.model, st, p.cfg)
+				if err != nil {
+					return nil, badRequest(fmt.Errorf("strategy %v: %w", st, err))
+				}
+				return res, nil
+			})
+		if err != nil {
+			return response{}, err
+		}
+		cmp := &hypar.Comparison{Model: p.model.Name, Results: make(map[hypar.Strategy]*hypar.Result, len(hypar.Strategies))}
+		for i, st := range hypar.Strategies {
+			cmp.Results[st] = results[i]
+			resp.Results[st.String()] = strategyResult{
+				Plan:  planToJSON(results[i].Plan, p.model, p.cfg),
+				Stats: statsToJSON(results[i].Stats),
+			}
+		}
+		for _, st := range hypar.Strategies {
+			resp.Gains[st.String()] = gainsJSON{
+				Performance:      cmp.PerformanceGain(st),
+				EnergyEfficiency: cmp.EnergyEfficiency(st),
+			}
+		}
+		return jsonResponse(resp)
+	})
+}
+
+// defaultFree sweeps every layer's top-level (H1) parallelism, capped
+// to 8 variables (256 points) — the Figure 9 shape for any model.
+func defaultFree(m *nn.Model) []partition.FreeVar {
+	n := len(m.Layers)
+	if n > 8 {
+		n = 8
+	}
+	free := make([]partition.FreeVar, 0, n)
+	for l := 0; l < n; l++ {
+		free = append(free, partition.FreeVar{Level: 0, Layer: l})
+	}
+	return free
+}
+
+// handleExplore answers POST /v1/explore with an NDJSON stream: a
+// header line, one line per sweep point in code order, and a summary
+// line. The stream begins before the sweep finishes (runner.Stream
+// backpressure), is teed into the cache, and coalesced followers replay
+// the leader's bytes.
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) error {
+	p, err := s.parseRequest(r, false, true)
+	if err != nil {
+		return err
+	}
+	if p.free == nil {
+		p.free = defaultFree(p.model)
+	}
+	if p.cfg.Levels == 0 {
+		return badRequest(fmt.Errorf("%w: explore needs levels >= 1", ErrService))
+	}
+	key := p.key("explore")
+	m := s.metrics["explore"]
+	if resp, ok := s.cache.Get(key); ok {
+		m.cacheHits.Add(1)
+		writeResponse(w, resp)
+		return nil
+	}
+
+	var streamed bool
+	resp, err, leader := s.flight.Do(key, func() (response, error) {
+		if resp, ok := s.cache.Get(key); ok {
+			m.cacheHits.Add(1)
+			return resp, nil
+		}
+		m.computes.Add(1)
+		if s.onCompute != nil {
+			s.onCompute("explore", key)
+		}
+		// The leader streams lines to its own client as they are
+		// computed and tees them into buf for the cache and followers.
+		// A client write failure (leader disconnected mid-stream) must
+		// not abort the sweep: followers coalesced onto this flight
+		// still need the result, so the computation keeps filling the
+		// tee buffer and only the doomed client writes stop.
+		var buf strings.Builder
+		var clientGone bool
+		flusher, _ := w.(http.Flusher)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		streamed = true
+		line := func(v any) error {
+			b, err := json.Marshal(v)
+			if err != nil {
+				return err
+			}
+			b = append(b, '\n')
+			buf.Write(b)
+			if !clientGone {
+				if _, err := w.Write(b); err != nil {
+					clientGone = true
+				} else if flusher != nil {
+					flusher.Flush()
+				}
+			}
+			return nil
+		}
+
+		if err := line(exploreHeaderJSON{
+			Type: "header", Model: p.model.Name, Config: p.cfg, Points: 1 << uint(len(p.free)),
+		}); err != nil {
+			return response{}, err
+		}
+		var peak, hp explorePointJSON
+		err := s.sessionFor(p.cfg).ExploreStream(p.model, p.free, nil, func(ep experiments.ExplorePoint) error {
+			pj := explorePointJSON{Type: "point", Code: ep.Code, Labels: ep.Labels, Gain: ep.Gain, IsHyPar: ep.IsHyPar}
+			if pj.Gain > peak.Gain {
+				peak = pj
+			}
+			if pj.IsHyPar {
+				hp = pj
+			}
+			return line(pj)
+		})
+		if err != nil {
+			return response{}, err
+		}
+		peak.Type, hp.Type = "point", "point"
+		if err := line(exploreSummaryJSON{Type: "summary", Peak: peak, HyPar: hp}); err != nil {
+			return response{}, err
+		}
+		resp := response{contentType: "application/x-ndjson", body: []byte(buf.String())}
+		s.cache.Put(key, resp)
+		return resp, nil
+	})
+	if !leader {
+		m.coalesced.Add(1)
+	}
+	if err != nil {
+		if streamed {
+			// Headers are already out; the broken stream is the error
+			// signal the client sees. Count the failure here since
+			// returning nil bypasses post()'s error accounting.
+			m.errors.Add(1)
+			return nil
+		}
+		return err
+	}
+	if !streamed {
+		// Followers, and a leader whose flight double-check hit the
+		// cache, replay the rendered body.
+		writeResponse(w, resp)
+	}
+	return nil
+}
+
+// handleHealthz answers GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.metrics["healthz"].requests.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":        "ok",
+		"uptimeSeconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// statszResponse is the /statsz body.
+type statszResponse struct {
+	UptimeSeconds float64                  `json:"uptimeSeconds"`
+	PoolWidth     int                      `json:"poolWidth"`
+	CacheEntries  int                      `json:"cacheEntries"`
+	Endpoints     map[string]statsSnapshot `json:"endpoints"`
+}
+
+// handleStatsz answers GET /statsz.
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	s.metrics["statsz"].requests.Add(1)
+	resp := statszResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		PoolWidth:     s.pool.Width(),
+		CacheEntries:  s.cache.Len(),
+		Endpoints:     make(map[string]statsSnapshot, len(s.metrics)),
+	}
+	for name, m := range s.metrics {
+		resp.Endpoints[name] = m.snapshot()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}

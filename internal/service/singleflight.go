@@ -1,0 +1,71 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+)
+
+// response is the cached/coalesced unit of work: a fully rendered
+// response body. Replaying it byte-for-byte is what makes identical
+// requests return identical bytes whether they hit the cache, lead a
+// flight, or follow one.
+type response struct {
+	contentType string
+	body        []byte
+}
+
+// flightGroup is a minimal singleflight: concurrent Do calls with the
+// same key share one execution of fn. The std-lib has no singleflight
+// and this module takes no dependencies, so the classic
+// WaitGroup-per-call construction is reimplemented here.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// flightCall is one in-flight computation.
+type flightCall struct {
+	wg   sync.WaitGroup
+	resp response
+	err  error
+}
+
+// Do executes fn once per key among concurrent callers. The returned
+// leader flag reports whether this caller ran fn itself (followers get
+// the leader's result). fn must not call Do reentrantly with the same
+// key.
+func (g *flightGroup) Do(key string, fn func() (response, error)) (resp response, err error, leader bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.resp, c.err, false
+	}
+	c := new(flightCall)
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	// Release the flight even if fn panics — otherwise the key is
+	// poisoned and every follower blocks in Wait forever. A panicking
+	// leader hands followers an error, then re-panics so the failure
+	// stays loud (net/http recovers it per connection).
+	defer func() {
+		r := recover()
+		if r != nil {
+			c.err = fmt.Errorf("service: panic during computation: %v", r)
+		}
+		c.wg.Done()
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		if r != nil {
+			panic(r)
+		}
+	}()
+	c.resp, c.err = fn()
+	return c.resp, c.err, true
+}

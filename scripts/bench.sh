@@ -4,27 +4,31 @@
 # Usage:  scripts/bench.sh [N]
 #
 # Emits BENCH_N.json (default N=1) at the repository root: ns/op for
-# every benchmark plus host metadata, so successive PRs can be compared
-# point by point. Key pairs to watch:
+# every benchmark, plus hypard service throughput (hot-cache and mixed
+# workloads driven by scripts/loadgen), plus host metadata, so
+# successive PRs can be compared point by point. Key pairs to watch:
 #
 #   BenchmarkFig6Performance    vs BenchmarkFig6PerformanceSerial
 #   BenchmarkFig9Exploration    vs BenchmarkFig9ExplorationSerial
 #   BenchmarkSimulateStep       vs BenchmarkSimulateStepReusedEngine
+#   service.hot.rps             vs service.mixed.rps (cache leverage)
 #
 # BENCHTIME overrides the per-benchmark iteration count (default 10x;
 # use a duration like 1s for lower variance on quiet machines).
+# HYPARD_PORT overrides the service port (default 18923).
+# SKIP_SERVICE=1 skips the service throughput stage.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 n="${1:-1}"
 out="BENCH_${n}.json"
 benchtime="${BENCHTIME:-10x}"
+port="${HYPARD_PORT:-18923}"
 
 raw="$(go test -run '^$' -bench . -benchtime "$benchtime" .)"
 echo "$raw"
 
-echo "$raw" | awk -v out="$out" -v benchtime="$benchtime" \
-	-v goversion="$(go env GOVERSION)" -v maxprocs="$(nproc 2>/dev/null || echo 1)" '
+ns_per_op="$(echo "$raw" | awk '
 /^Benchmark/ {
 	name=$1
 	sub(/-[0-9]+$/, "", name)
@@ -32,15 +36,48 @@ echo "$raw" | awk -v out="$out" -v benchtime="$benchtime" \
 	order[++i]=name
 }
 END {
-	printf "{\n" > out
-	printf "  \"schema\": \"bench-v1\",\n" >> out
-	printf "  \"go\": \"%s\",\n", goversion >> out
-	printf "  \"cpus\": %s,\n", maxprocs >> out
-	printf "  \"benchtime\": \"%s\",\n", benchtime >> out
-	printf "  \"ns_per_op\": {\n" >> out
 	for (j=1; j<=i; j++) {
-		printf "    \"%s\": %s%s\n", order[j], ns[order[j]], (j<i ? "," : "") >> out
+		printf "    \"%s\": %s%s\n", order[j], ns[order[j]], (j<i ? "," : "")
 	}
-	printf "  }\n}\n" >> out
-}'
+}')"
+
+service_hot="null"
+service_mixed="null"
+daemon_pid=""
+if [ "${SKIP_SERVICE:-0}" != "1" ]; then
+	tmpdir="$(mktemp -d)"
+	trap 'if [ -n "$daemon_pid" ]; then kill "$daemon_pid" 2>/dev/null || true; fi; rm -rf "$tmpdir"' EXIT
+	go build -o "$tmpdir/hypard" ./cmd/hypard
+	go build -o "$tmpdir/loadgen" ./scripts/loadgen
+
+	"$tmpdir/hypard" -addr "127.0.0.1:${port}" >"$tmpdir/hypard.log" 2>&1 &
+	daemon_pid=$!
+
+	echo "service throughput (hot cache):"
+	service_hot="$("$tmpdir/loadgen" -addr "127.0.0.1:${port}" -mode hot -requests 300 -concurrency 8)"
+	echo "$service_hot"
+	echo "service throughput (mixed workload):"
+	service_mixed="$("$tmpdir/loadgen" -addr "127.0.0.1:${port}" -mode mixed -requests 300 -concurrency 8)"
+	echo "$service_mixed"
+
+	kill "$daemon_pid" 2>/dev/null || true
+	wait "$daemon_pid" 2>/dev/null || true
+	daemon_pid=""
+fi
+
+{
+	printf '{\n'
+	printf '  "schema": "bench-v2",\n'
+	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+	printf '  "benchtime": "%s",\n' "$benchtime"
+	printf '  "ns_per_op": {\n'
+	printf '%s\n' "$ns_per_op"
+	printf '  },\n'
+	printf '  "service": {\n'
+	printf '    "hot": %s,\n' "$service_hot"
+	printf '    "mixed": %s\n' "$service_mixed"
+	printf '  }\n'
+	printf '}\n'
+} >"$out"
 echo "wrote ${out}"

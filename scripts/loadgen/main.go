@@ -1,0 +1,172 @@
+// Command loadgen drives a running hypard with concurrent POST traffic
+// and reports throughput and latency percentiles as one JSON object on
+// stdout — scripts/bench.sh uses it to record service numbers in
+// BENCH_N.json.
+//
+// Modes:
+//
+//	-mode hot    every request identical (exercises coalescing + cache:
+//	             steady state is pure byte replay)
+//	-mode mixed  cycles zoo models × strategies × batch sizes
+//	             (exercises the evaluator itself; mostly cache misses
+//	             until the cycle wraps)
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:8080 -requests 200 -concurrency 8 -mode hot
+//	loadgen -addr 127.0.0.1:8080 -wait 10s -mode mixed
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// result is the JSON report.
+type result struct {
+	Mode        string  `json:"mode"`
+	Endpoint    string  `json:"endpoint"`
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	Errors      int64   `json:"errors"`
+	Seconds     float64 `json:"seconds"`
+	RPS         float64 `json:"rps"`
+	P50Ms       float64 `json:"p50Ms"`
+	P90Ms       float64 `json:"p90Ms"`
+	P99Ms       float64 `json:"p99Ms"`
+}
+
+// zoo mirrors the service's model names; kept literal so loadgen works
+// against any hypard build without importing the library.
+var zooNames = []string{"SFC", "SCONV", "Lenet-c", "Cifar-c", "AlexNet", "VGG-A", "VGG-B", "VGG-C", "VGG-D", "VGG-E"}
+
+var strategies = []string{"hypar", "dp", "mp", "trick"}
+
+// body renders the i-th request body for the mode.
+func body(mode string, i int) string {
+	if mode == "hot" {
+		return `{"zoo":"VGG-A","strategy":"hypar"}`
+	}
+	name := zooNames[i%len(zooNames)]
+	strat := strategies[(i/len(zooNames))%len(strategies)]
+	batch := 64 << uint((i/(len(zooNames)*len(strategies)))%3) // 64, 128, 256
+	return fmt.Sprintf(`{"zoo":%q,"strategy":%q,"config":{"batch":%d}}`, name, strat, batch)
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "hypard host:port")
+		path    = flag.String("endpoint", "/v1/evaluate", "endpoint to hit")
+		n       = flag.Int("requests", 200, "total requests")
+		conc    = flag.Int("concurrency", 8, "concurrent clients")
+		mode    = flag.String("mode", "hot", "hot | mixed")
+		wait    = flag.Duration("wait", 15*time.Second, "wait for /healthz before starting")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+
+	base := "http://" + *addr
+	client := &http.Client{Timeout: *timeout}
+	if err := waitHealthy(client, base, *wait); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+
+	var (
+		next    atomic.Int64
+		errs    atomic.Int64
+		mu      sync.Mutex
+		lats    = make([]float64, 0, *n)
+		wg      sync.WaitGroup
+		started = time.Now()
+	)
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *n {
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Post(base+*path, "application/json",
+					bytes.NewReader([]byte(body(*mode, i))))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+					continue
+				}
+				ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+				mu.Lock()
+				lats = append(lats, ms)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(started).Seconds()
+
+	sort.Float64s(lats)
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(lats)-1))
+		return lats[idx]
+	}
+	out := result{
+		Mode:        *mode,
+		Endpoint:    *path,
+		Requests:    *n,
+		Concurrency: *conc,
+		Errors:      errs.Load(),
+		Seconds:     elapsed,
+		RPS:         float64(len(lats)) / elapsed,
+		P50Ms:       pct(0.50),
+		P90Ms:       pct(0.90),
+		P99Ms:       pct(0.99),
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	if out.Errors > 0 {
+		os.Exit(2)
+	}
+}
+
+// waitHealthy polls /healthz until the daemon answers or the budget is
+// spent.
+func waitHealthy(client *http.Client, base string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("hypard at %s not healthy within %s", base, budget)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
