@@ -6,12 +6,16 @@
 //
 //	hypar -experiment fig6                # regenerate one figure
 //	hypar -experiment all                 # regenerate everything
+//	hypar -experiment platforms           # cross-platform comparison
 //	hypar -model VGG-A -strategy hypar    # plan + simulate one network
 //	hypar -model AlexNet -plan            # print the partition only
+//	hypar -model VGG-A -platform gpu-hbm  # simulate on another backend
 //	hypar -experiment fig8 -csv           # emit CSV instead of a table
 //
-// Flags -batch, -levels, -topology, -link override the paper defaults
-// (256, 4, htree, 1600 Mb/s).
+// Flags -batch, -levels, -platform, -topology, -link override the paper
+// defaults (256, 4, hmc, and the platform's native fabric and link
+// rate — htree at 1600 Mb/s for hmc). -platforms lists the registered
+// accelerator platforms.
 package main
 
 import (
@@ -41,16 +45,18 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("hypar", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
-		experiment = fs.String("experiment", "", "regenerate a paper artifact: fig5..fig13, ablations, all")
+		experiment = fs.String("experiment", "", "regenerate a paper artifact: fig5..fig13, platforms, ablations, all")
 		model      = fs.String("model", "", "zoo model to plan/simulate (e.g. VGG-A); see -list")
 		strategy   = fs.String("strategy", "hypar", "hypar | dp | mp | trick")
 		planOnly   = fs.Bool("plan", false, "print the partition without simulating")
 		list       = fs.Bool("list", false, "list zoo models")
+		listPlat   = fs.Bool("platforms", false, "list accelerator platforms")
 		csv        = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		batch      = fs.Int("batch", 256, "mini-batch size")
 		levels     = fs.Int("levels", 4, "hierarchy depth H (2^H accelerators)")
-		topology   = fs.String("topology", "htree", "htree | torus | ideal")
-		link       = fs.Float64("link", 1600, "NoC link bandwidth, Mb/s")
+		plat       = fs.String("platform", "hmc", "accelerator platform: hmc | gpu-hbm | tpu-systolic")
+		topology   = fs.String("topology", "", "htree | torus | ideal (default: the platform's native fabric)")
+		link       = fs.Float64("link", 0, "NoC link bandwidth, Mb/s (default: the platform's native rate)")
 		overlap    = fs.Bool("overlap", false, "overlap gradient communication (ablation)")
 		traceFile  = fs.String("trace", "", "write a Chrome trace of the simulated step to this file")
 		parallel   = fs.Bool("parallel", true, "fan experiment sweeps out over all CPUs")
@@ -73,9 +79,12 @@ func run(args []string, w io.Writer) error {
 	}
 
 	cfg := hypar.Config{
-		Batch: *batch, Levels: *levels, Topology: *topology,
+		Batch: *batch, Levels: *levels, Platform: *plat, Topology: *topology,
 		LinkMbps: *link, OverlapGradComm: *overlap,
 	}
+	// Resolve the platform's native topology/link defaults up front so
+	// every printout shows the explicit configuration.
+	cfg = cfg.Canonical()
 	emit := func(t *report.Table) error {
 		if *csv {
 			return t.WriteCSV(w)
@@ -92,6 +101,16 @@ func run(args []string, w io.Writer) error {
 		for _, m := range hypar.Zoo() {
 			fmt.Fprintf(w, "%-10s %2d weighted layers, input %dx%dx%d\n",
 				m.Name, m.NumWeighted(), m.Input.H, m.Input.W, m.Input.C)
+		}
+		return nil
+	case *listPlat:
+		for _, name := range hypar.Platforms() {
+			p, err := hypar.PlatformByName(name)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-13s %s (topologies: %v, link %g Mb/s)\n",
+				name, p.Describe(), p.Topologies(), p.DefaultLinkMbps())
 		}
 		return nil
 	case *experiment != "":
@@ -170,8 +189,8 @@ func runModel(name, strategyName string, planOnly bool, traceFile string, cfg hy
 	if err := emit(st); err != nil {
 		return err
 	}
-	_, err = fmt.Fprintf(w, "accelerators: %d, topology: %s, batch: %d\n",
-		plan.NumAccelerators(), cfg.Topology, cfg.Batch)
+	_, err = fmt.Fprintf(w, "accelerators: %d, platform: %s, topology: %s, batch: %d\n",
+		plan.NumAccelerators(), cfg.Platform, cfg.Topology, cfg.Batch)
 	return err
 }
 
@@ -244,8 +263,9 @@ func runExperiments(which string, cfg hypar.Config, emit func(*report.Table) err
 			t, _, err := s.Fig11(6)
 			return t, err
 		},
-		"fig12": s.Fig12,
-		"fig13": s.Fig13,
+		"fig12":     s.Fig12,
+		"fig13":     s.Fig13,
+		"platforms": s.PlatformTable,
 	}
 	ablations := []run{
 		func() (*report.Table, error) { return s.AblationDepth(6, "VGG-A") },
@@ -266,7 +286,7 @@ func runExperiments(which string, cfg hypar.Config, emit func(*report.Table) err
 
 	switch which {
 	case "all":
-		for _, k := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"} {
+		for _, k := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "platforms"} {
 			if err := runOne(runners[k]); err != nil {
 				return fmt.Errorf("%s: %w", k, err)
 			}
@@ -287,7 +307,7 @@ func runExperiments(which string, cfg hypar.Config, emit func(*report.Table) err
 	default:
 		r, ok := runners[which]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (fig5..fig13, ablations, all)", which)
+			return fmt.Errorf("unknown experiment %q (fig5..fig13, platforms, ablations, all)", which)
 		}
 		return runOne(r)
 	}

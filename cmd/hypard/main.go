@@ -51,8 +51,9 @@ func run(args []string, w io.Writer, ready func(addr string, stop func())) error
 		cache    = fs.Int("cache", service.DefaultCacheEntries, "result cache entries (negative disables)")
 		batch    = fs.Int("batch", 256, "default mini-batch size")
 		levels   = fs.Int("levels", 4, "default hierarchy depth H (2^H accelerators)")
-		topology = fs.String("topology", "htree", "default topology: htree | torus | ideal")
-		link     = fs.Float64("link", 1600, "default NoC link bandwidth, Mb/s")
+		plat     = fs.String("platform", "hmc", "default platform: hmc | gpu-hbm | tpu-systolic")
+		topology = fs.String("topology", "", "default topology: htree | torus | ideal (empty: the platform's native fabric)")
+		link     = fs.Float64("link", 0, "default NoC link bandwidth, Mb/s (0: the platform's native rate)")
 		drain    = fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -62,7 +63,7 @@ func run(args []string, w io.Writer, ready func(addr string, stop func())) error
 	pool := runner.New(*workers)
 	srv, err := service.New(service.Options{
 		Config: hypar.Config{
-			Batch: *batch, Levels: *levels, Topology: *topology, LinkMbps: *link,
+			Batch: *batch, Levels: *levels, Platform: *plat, Topology: *topology, LinkMbps: *link,
 		},
 		Pool:         pool,
 		CacheEntries: *cache,

@@ -1,0 +1,103 @@
+package hypar_test
+
+import (
+	"fmt"
+
+	hypar "repro"
+)
+
+// ExampleModelByName looks one of the paper's ten evaluation networks
+// up by name.
+func ExampleModelByName() {
+	m, err := hypar.ModelByName("Lenet-c")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.Name, "has", m.NumWeighted(), "weighted layers")
+	// Output: Lenet-c has 4 weighted layers
+}
+
+// ExampleRun plans and simulates one training step: the plan's per-layer
+// strings read H1..H4 left to right (0 = data parallelism, 1 = model
+// parallelism).
+func ExampleRun() {
+	m, err := hypar.ModelByName("Lenet-c")
+	if err != nil {
+		panic(err)
+	}
+	res, err := hypar.Run(m, hypar.HyPar, hypar.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	for l, layer := range m.Layers {
+		fmt.Println(layer.Name, res.Plan.LayerString(l))
+	}
+	fmt.Println("simulated a step:", res.Stats.StepSeconds > 0)
+	// Output:
+	// conv1 0000
+	// conv2 0000
+	// fc1 1010
+	// fc2 1010
+	// simulated a step: true
+}
+
+// ExampleCompare runs every strategy on one network and reads the
+// Figure 6 normalization: HyPar's speedup over Data Parallelism.
+func ExampleCompare() {
+	m, err := hypar.ModelByName("Lenet-c")
+	if err != nil {
+		panic(err)
+	}
+	cmp, err := hypar.Compare(m, hypar.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("strategies compared:", len(cmp.Results))
+	fmt.Println("HyPar beats Data Parallelism:", cmp.PerformanceGain(hypar.HyPar) > 1)
+	// Output:
+	// strategies compared: 4
+	// HyPar beats Data Parallelism: true
+}
+
+// ExampleConfig_platform selects a non-default accelerator platform:
+// leaving Topology and LinkMbps zero resolves them to the platform's
+// native fabric.
+func ExampleConfig_platform() {
+	cfg := hypar.Config{Batch: 256, Levels: 4, Platform: "gpu-hbm"}
+	cfg = cfg.Canonical()
+	fmt.Println(cfg.Platform, cfg.Topology, cfg.LinkMbps)
+
+	m, err := hypar.ModelByName("Lenet-c")
+	if err != nil {
+		panic(err)
+	}
+	res, err := hypar.Run(m, hypar.HyPar, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("simulated on gpu-hbm:", res.Stats.StepSeconds > 0)
+	// Output:
+	// gpu-hbm torus 200000
+	// simulated on gpu-hbm: true
+}
+
+// ExampleComparePlatforms contrasts the registered platforms on one
+// network, each at its native interconnect.
+func ExampleComparePlatforms() {
+	m, err := hypar.ModelByName("Lenet-c")
+	if err != nil {
+		panic(err)
+	}
+	pc, err := hypar.ComparePlatforms(m, hypar.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	for _, name := range pc.Names {
+		cmp := pc.ByPlatform[name]
+		fmt.Println(name, "HyPar > DP:", cmp.PerformanceGain(hypar.HyPar) > 1)
+	}
+	// Output:
+	// gpu-hbm HyPar > DP: true
+	// hmc HyPar > DP: true
+	// tpu-systolic HyPar > DP: true
+}

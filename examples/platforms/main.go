@@ -1,0 +1,51 @@
+// Platforms: run the same network on every registered accelerator
+// platform — the paper's HMC array, a GPU-HBM array and a TPU-style
+// systolic array — each at its native interconnect, and show how the
+// partition DP's dp/mp choices and the resulting gains shift with the
+// backend.
+//
+// Run with:
+//
+//	go run ./examples/platforms
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hypar "repro"
+)
+
+func main() {
+	m, err := hypar.ModelByName("AlexNet")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// List the registered platforms with their native fabrics.
+	for _, name := range hypar.Platforms() {
+		p, err := hypar.PlatformByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-13s %s\n", name, p.Describe())
+	}
+	fmt.Println()
+
+	// Compare them all on one workload: batch/levels carry over, the
+	// interconnect resets to each platform's native default.
+	pc, err := hypar.ComparePlatforms(m, hypar.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %d accelerators:\n", m.Name, 1<<4)
+	fmt.Println("platform       step(s)     gain-vs-DP  energy-eff  last-layer")
+	for _, name := range pc.Names {
+		cmp := pc.ByPlatform[name]
+		hp := cmp.Results[hypar.HyPar]
+		fmt.Printf("%-13s %10.4g %10.3f %11.3f  %s\n",
+			name, hp.Stats.StepSeconds,
+			cmp.PerformanceGain(hypar.HyPar), cmp.EnergyEfficiency(hypar.HyPar),
+			hp.Plan.LayerString(len(m.Layers)-1))
+	}
+}

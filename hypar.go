@@ -31,8 +31,8 @@ import (
 	"strings"
 
 	"repro/internal/nn"
-	"repro/internal/noc"
 	"repro/internal/partition"
+	"repro/internal/platform"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/tensor"
@@ -58,7 +58,24 @@ type (
 	Stats = sim.Stats
 	// Arch is the simulated hardware platform.
 	Arch = sim.Arch
+	// Platform bundles an accelerator platform's cost models (compute,
+	// memory/energy, interconnect, partition weights). See Platforms for
+	// the registered names.
+	Platform = platform.Platform
 )
+
+// Platform selection helpers.
+var (
+	// Platforms lists the registered accelerator platform names, sorted
+	// ("hmc", "gpu-hbm", "tpu-systolic" by default).
+	Platforms = platform.Names
+	// PlatformByName resolves a registered platform by its wire name.
+	PlatformByName = platform.ByName
+)
+
+// DefaultPlatform is the platform an empty Config.Platform means: the
+// paper's HMC-based array.
+const DefaultPlatform = "hmc"
 
 // Layer kind constants for hand-built models.
 const (
@@ -178,10 +195,17 @@ type Config struct {
 	// Levels is the hierarchy depth H; the array has 2^H accelerators
 	// (paper default: 4 → 16 accelerators).
 	Levels int `json:"levels"`
-	// Topology is "htree" (default), "torus" or "ideal".
-	Topology string `json:"topology"`
-	// LinkMbps is the NoC link bandwidth (paper default: 1600 Mb/s).
-	LinkMbps float64 `json:"linkMbps"`
+	// Platform names the accelerator platform: "hmc" (paper default,
+	// empty means hmc), "gpu-hbm" or "tpu-systolic" — see Platforms.
+	Platform string `json:"platform,omitempty"`
+	// Topology is the interconnect: "htree", "torus" or "ideal". Empty
+	// means the platform's native default (htree for hmc, torus for
+	// gpu-hbm and tpu-systolic).
+	Topology string `json:"topology,omitempty"`
+	// LinkMbps is the NoC link bandwidth in Mb/s. Zero means the
+	// platform's native default (1600 for hmc, 200000 for gpu-hbm,
+	// 496000 for tpu-systolic).
+	LinkMbps float64 `json:"linkMbps,omitempty"`
 	// OverlapGradComm enables the communication-hiding runtime
 	// ablation (off by default, matching the paper's phase-serial
 	// simulator).
@@ -192,38 +216,68 @@ type Config struct {
 }
 
 // Canonical normalizes the configuration to its canonical equivalent:
-// the empty precision becomes the explicit "fp32" it means. Two configs
-// with identical semantics therefore marshal to identical JSON — the
-// property the hypard request hash relies on.
+// the empty precision becomes the explicit "fp32" it means, the empty
+// platform becomes "hmc", and an empty topology or zero link bandwidth
+// resolves to the named platform's native default. Two configs with
+// identical semantics therefore marshal to identical JSON — the
+// property the hypard request hash relies on. An unknown platform name
+// is left untouched for Validate to reject.
 func (c Config) Canonical() Config {
 	if c.Precision == "" {
 		c.Precision = "fp32"
 	}
+	if c.Platform == "" {
+		c.Platform = DefaultPlatform
+	}
+	if p, err := platform.ByName(c.Platform); err == nil {
+		if c.Topology == "" {
+			c.Topology = p.Topologies()[0]
+		}
+		if c.LinkMbps == 0 {
+			c.LinkMbps = p.DefaultLinkMbps()
+		}
+	}
 	return c
 }
 
-// DefaultConfig returns the paper's evaluation setup: batch 256,
-// sixteen accelerators in four hierarchy levels, H-tree with 1600 Mb/s
-// links.
+// DefaultConfig returns the paper's evaluation workload — batch 256,
+// sixteen accelerators in four hierarchy levels — with the platform
+// fields left to their Canonical defaults: the hmc platform on its
+// native H-tree at 1600 Mb/s. Leaving Topology and LinkMbps unset
+// matters: setting Platform on the returned config selects that
+// platform's native fabric instead of silently keeping the HMC's
+// 1600 Mb/s H-tree.
 func DefaultConfig() Config {
-	return Config{Batch: 256, Levels: 4, Topology: "htree", LinkMbps: 1600}
+	return Config{Batch: 256, Levels: 4}
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration. Empty platform/topology and zero
+// link bandwidth are valid: they mean the Canonical defaults.
 func (c Config) Validate() error {
+	c = c.Canonical()
 	if c.Batch <= 0 {
 		return fmt.Errorf("%w: batch %d", ErrConfig, c.Batch)
 	}
 	if c.Levels < 0 || c.Levels > 20 {
 		return fmt.Errorf("%w: levels %d", ErrConfig, c.Levels)
 	}
+	p, err := platform.ByName(c.Platform)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrConfig, err)
+	}
 	if c.LinkMbps <= 0 {
 		return fmt.Errorf("%w: link bandwidth %g Mb/s", ErrConfig, c.LinkMbps)
 	}
-	switch c.Topology {
-	case "htree", "torus", "ideal":
-	default:
-		return fmt.Errorf("%w: unknown topology %q (htree, torus, ideal)", ErrConfig, c.Topology)
+	supported := false
+	for _, t := range p.Topologies() {
+		if t == c.Topology {
+			supported = true
+			break
+		}
+	}
+	if !supported {
+		return fmt.Errorf("%w: platform %q does not support topology %q (supported: %v)",
+			ErrConfig, c.Platform, c.Topology, p.Topologies())
 	}
 	if _, err := c.dtype(); err != nil {
 		return err
@@ -248,55 +302,69 @@ func (c Config) dtype() (tensor.DType, error) {
 // DType resolves the configured precision to the tensor element type.
 func (c Config) DType() (DType, error) { return c.dtype() }
 
+// PlatformFor resolves the configuration's accelerator platform
+// (applying the Canonical default for an empty name).
+func PlatformFor(c Config) (Platform, error) {
+	name := c.Platform
+	if name == "" {
+		name = DefaultPlatform
+	}
+	p, err := platform.ByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	return p, nil
+}
+
 // BuildArch materializes the simulated platform for the configuration.
 func BuildArch(c Config) (Arch, error) {
 	if err := c.Validate(); err != nil {
 		return Arch{}, err
 	}
-	arch, err := sim.DefaultArch(c.Levels)
+	c = c.Canonical()
+	p, err := PlatformFor(c)
 	if err != nil {
 		return Arch{}, err
 	}
-	switch c.Topology {
-	case "torus":
-		t, err := noc.NewTorus(c.Levels, c.LinkMbps)
-		if err != nil {
-			return Arch{}, err
-		}
-		arch.NoC = t
-	case "ideal":
-		arch.NoC = noc.NewIdeal(c.Levels)
-	default:
-		t, err := noc.NewHTree(c.Levels, c.LinkMbps)
-		if err != nil {
-			return Arch{}, err
-		}
-		arch.NoC = t
+	topo, err := p.NewTopology(c.Topology, c.Levels, c.LinkMbps)
+	if err != nil {
+		return Arch{}, err
 	}
-	arch.OverlapGradComm = c.OverlapGradComm
 	dt, err := c.dtype()
 	if err != nil {
 		return Arch{}, err
 	}
-	arch.DType = dt
-	return arch, nil
+	return Arch{
+		Mem:             p.Memory(),
+		Comp:            p.Compute(),
+		NoC:             topo,
+		DType:           dt,
+		OverlapGradComm: c.OverlapGradComm,
+	}, nil
 }
 
 // NewPlan produces the parallelism assignment for the model under the
-// given strategy and configuration.
+// given strategy and configuration. The partition search and the plan's
+// recorded transfer volumes run under the configured platform's cost
+// weights, so the DP objective and the simulated schedule agree.
 func NewPlan(m *Model, s Strategy, c Config) (*Plan, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	p, err := PlatformFor(c)
+	if err != nil {
+		return nil, err
+	}
+	w := p.PartitionWeights()
 	switch s {
 	case HyPar:
-		return partition.Hierarchical(m, c.Batch, c.Levels)
+		return partition.HierarchicalWeighted(m, c.Batch, c.Levels, w)
 	case DataParallel:
-		return partition.DataParallel(m, c.Batch, c.Levels)
+		return partition.DataParallelWeighted(m, c.Batch, c.Levels, w)
 	case ModelParallel:
-		return partition.ModelParallel(m, c.Batch, c.Levels)
+		return partition.ModelParallelWeighted(m, c.Batch, c.Levels, w)
 	case OneWeirdTrick:
-		return partition.OneWeirdTrick(m, c.Batch, c.Levels)
+		return partition.OneWeirdTrickWeighted(m, c.Batch, c.Levels, w)
 	default:
 		return nil, fmt.Errorf("%w: unknown strategy %v", ErrConfig, s)
 	}
@@ -437,4 +505,59 @@ func (c *Comparison) EnergyEfficiency(s Strategy) float64 {
 		return 0
 	}
 	return dp.Stats.EnergyTotal() / r.Stats.EnergyTotal()
+}
+
+// PlatformComparison holds one full strategy Comparison per platform
+// for one model: the cross-platform view of how the partition DP's
+// dp/mp choices and the resulting gains shift with the backend.
+type PlatformComparison struct {
+	Model string
+	// Names lists the compared platforms in request order.
+	Names []string
+	// ByPlatform maps each platform name to its strategy comparison.
+	ByPlatform map[string]*Comparison
+}
+
+// ComparePlatforms runs the full strategy comparison on every named
+// platform (all registered platforms when names is empty). Each
+// platform is evaluated at its native topology and link bandwidth: the
+// config's Topology and LinkMbps are reset to the platform defaults so
+// the comparison contrasts whole platforms, not one fabric transplanted
+// across them. Batch, levels, precision and the overlap ablation carry
+// over unchanged.
+func ComparePlatforms(m *Model, c Config, names ...string) (*PlatformComparison, error) {
+	if len(names) == 0 {
+		names = Platforms()
+	}
+	cfgs := make([]Config, len(names))
+	for i, name := range names {
+		pc := c
+		pc.Platform = name
+		pc.Topology = ""
+		pc.LinkMbps = 0
+		pc = pc.Canonical()
+		if err := pc.Validate(); err != nil {
+			return nil, fmt.Errorf("platform %q: %w", name, err)
+		}
+		cfgs[i] = pc
+	}
+	cmps, err := runner.Map(runner.Default(), cfgs, func(i int, pc Config) (*Comparison, error) {
+		cmp, err := NewEvaluator().Compare(m, pc)
+		if err != nil {
+			return nil, fmt.Errorf("platform %q: %w", names[i], err)
+		}
+		return cmp, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &PlatformComparison{
+		Model:      m.Name,
+		Names:      append([]string(nil), names...),
+		ByPlatform: make(map[string]*Comparison, len(names)),
+	}
+	for i, name := range names {
+		out.ByPlatform[name] = cmps[i]
+	}
+	return out, nil
 }

@@ -13,8 +13,17 @@ func TestDefaultConfig(t *testing.T) {
 	if err := c.Validate(); err != nil {
 		t.Fatalf("default config invalid: %v", err)
 	}
-	if c.Batch != 256 || c.Levels != 4 || c.Topology != "htree" || c.LinkMbps != 1600 {
-		t.Errorf("default config diverges from paper §6.1: %+v", c)
+	canon := c.Canonical()
+	if canon.Batch != 256 || canon.Levels != 4 || canon.Platform != "hmc" ||
+		canon.Topology != "htree" || canon.LinkMbps != 1600 {
+		t.Errorf("default config diverges from paper §6.1: %+v", canon)
+	}
+	// Switching Platform on the default config must pick that
+	// platform's native fabric, not keep the HMC's H-tree/1600.
+	c.Platform = "gpu-hbm"
+	canon = c.Canonical()
+	if canon.Topology != "torus" || canon.LinkMbps != 200000 {
+		t.Errorf("platform switch kept hmc fabric: %+v", canon)
 	}
 }
 
@@ -24,12 +33,23 @@ func TestConfigValidate(t *testing.T) {
 		{Batch: 256, Levels: -1, Topology: "htree", LinkMbps: 1600},
 		{Batch: 256, Levels: 25, Topology: "htree", LinkMbps: 1600},
 		{Batch: 256, Levels: 4, Topology: "ring", LinkMbps: 1600},
-		{Batch: 256, Levels: 4, Topology: "htree", LinkMbps: 0},
+		{Batch: 256, Levels: 4, Topology: "htree", LinkMbps: -1},
+		{Batch: 256, Levels: 4, Platform: "quantum", Topology: "htree", LinkMbps: 1600},
 	}
 	for i, c := range bad {
 		if err := c.Validate(); !errors.Is(err, hypar.ErrConfig) {
 			t.Errorf("bad config %d accepted: %v", i, err)
 		}
+	}
+	// Zero topology/link/platform are valid: Canonical resolves them to
+	// the platform defaults.
+	blank := hypar.Config{Batch: 256, Levels: 4}
+	if err := blank.Validate(); err != nil {
+		t.Errorf("blank platform fields rejected: %v", err)
+	}
+	canon := blank.Canonical()
+	if canon.Platform != "hmc" || canon.Topology != "htree" || canon.LinkMbps != 1600 {
+		t.Errorf("canonical defaults = %+v, want hmc/htree/1600", canon)
 	}
 }
 

@@ -260,7 +260,7 @@ func (s *Session) Fig12() (*report.Table, error) {
 	toCfg := s.cfg
 	toCfg.Topology = "torus"
 	var cached []*hypar.Comparison
-	if htCfg == s.cfg {
+	if htCfg.Canonical() == s.cfg.Canonical() {
 		cached = s.peekCompareZoo()
 	}
 	zoo := s.Zoo()

@@ -77,7 +77,13 @@ func (s *Session) ExploreStream(m *hypar.Model, free []partition.FreeVar,
 			hyparCode |= 1 << uint(i)
 		}
 	}
-	points, err := partition.ExploreWith(s.pool, m, s.cfg.Batch, base.Levels, free)
+	// Sweep points are evaluated under the configured platform's cost
+	// weights, the same objective the HyPar base plan optimized.
+	plat, err := hypar.PlatformFor(s.cfg)
+	if err != nil {
+		return err
+	}
+	points, err := partition.ExploreWeightedWith(s.pool, m, s.cfg.Batch, base.Levels, free, plat.PartitionWeights())
 	if err != nil {
 		return err
 	}

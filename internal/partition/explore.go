@@ -24,6 +24,11 @@ func BruteForce(m *nn.Model, batch, levels int) (*Plan, error) {
 
 // BruteForceWith is BruteForce on an explicit pool.
 func BruteForceWith(pool *runner.Pool, m *nn.Model, batch, levels int) (*Plan, error) {
+	return bruteForceWith(pool, m, batch, levels, trainingCosts)
+}
+
+// bruteForceWith is BruteForceWith under an arbitrary cost model.
+func bruteForceWith(pool *runner.Pool, m *nn.Model, batch, levels int, c costs) (*Plan, error) {
 	shapes, err := prepare(m, batch, levels)
 	if err != nil {
 		return nil, err
@@ -49,7 +54,7 @@ func BruteForceWith(pool *runner.Pool, m *nn.Model, batch, levels int) (*Plan, e
 				}
 				assigns[b/nl][b%nl] = p
 			}
-			plan, err := evaluateShapes(m, batch, assigns, shapes)
+			plan, err := evaluateShapesWith(m, batch, assigns, shapes, c)
 			if err != nil {
 				return nil, err
 			}
@@ -101,6 +106,11 @@ func Explore(m *nn.Model, batch int, base []Assignment, free []FreeVar) ([]Explo
 // by code, so the result is independent of the pool width the
 // enumeration ran at.
 func ExploreWith(pool *runner.Pool, m *nn.Model, batch int, base []Assignment, free []FreeVar) ([]ExplorePoint, error) {
+	return exploreWith(pool, m, batch, base, free, trainingCosts)
+}
+
+// exploreWith is ExploreWith under an arbitrary cost model.
+func exploreWith(pool *runner.Pool, m *nn.Model, batch int, base []Assignment, free []FreeVar, c costs) ([]ExplorePoint, error) {
 	if len(free) > 20 {
 		return nil, fmt.Errorf("%w: exploring 2^%d points", ErrPlan, len(free))
 	}
@@ -132,7 +142,7 @@ func ExploreWith(pool *runner.Pool, m *nn.Model, batch int, base []Assignment, f
 				}
 				work[fv.Level][fv.Layer] = p
 			}
-			plan, err := evaluateShapes(m, batch, work, shapes)
+			plan, err := evaluateShapesWith(m, batch, work, shapes, c)
 			if err != nil {
 				return err
 			}

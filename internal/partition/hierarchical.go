@@ -35,6 +35,11 @@ func Evaluate(m *nn.Model, batch int, levels []Assignment) (*Plan, error) {
 // enumeration hot paths (brute force, exploration) share one inference
 // across every plan they score.
 func evaluateShapes(m *nn.Model, batch int, levels []Assignment, shapes []nn.LayerShapes) (*Plan, error) {
+	return evaluateShapesWith(m, batch, levels, shapes, trainingCosts)
+}
+
+// evaluateShapesWith is evaluateShapes under an arbitrary cost model.
+func evaluateShapesWith(m *nn.Model, batch int, levels []Assignment, shapes []nn.LayerShapes, c costs) (*Plan, error) {
 	for h, a := range levels {
 		if len(a) != len(shapes) {
 			return nil, fmt.Errorf("%w: level %d has %d choices, model %q has %d layers",
@@ -45,7 +50,7 @@ func evaluateShapes(m *nn.Model, batch int, levels []Assignment, shapes []nn.Lay
 	for h := range levels {
 		plan.Levels[h] = levels[h].Clone()
 	}
-	fillDetails(plan, shapes)
+	fillDetailsWith(plan, shapes, c)
 	return plan, nil
 }
 
@@ -71,13 +76,9 @@ func amountsAt(shapes []nn.LayerShapes, shards []tensor.Shard) []comm.LayerAmoun
 	return amounts
 }
 
-// fillDetails populates plan.Details and plan.TotalElems from the
-// plan's level assignments, threading shard state down the hierarchy.
-func fillDetails(plan *Plan, shapes []nn.LayerShapes) {
-	fillDetailsWith(plan, shapes, trainingCosts)
-}
-
-// fillDetailsWith is fillDetails under an arbitrary cost model.
+// fillDetailsWith populates plan.Details and plan.TotalElems from the
+// plan's level assignments under the cost model, threading shard state
+// down the hierarchy.
 func fillDetailsWith(plan *Plan, shapes []nn.LayerShapes, c costs) {
 	nl := len(shapes)
 	shards := make([]tensor.Shard, nl)

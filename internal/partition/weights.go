@@ -1,0 +1,175 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/nn"
+	"repro/internal/runner"
+)
+
+// Weights scales the three communication classes of the training cost
+// model, letting an accelerator platform express how expensive each
+// class of exchange is relative to raw element counts. The paper's
+// HMC + H-tree platform weighs every class identically (UnitWeights);
+// other backends charge less for exchanges their fabric or dataflow
+// performs natively — a bandwidth-optimal ring allreduce halves the
+// per-link gradient volume, an in-array systolic reduction halves the
+// partial-sum volume. The weighted amounts are what the dynamic program
+// minimizes and what the plan records as its transfer volumes, so the
+// DP objective and the simulated schedule stay consistent.
+type Weights struct {
+	// Grad scales the dp gradient allreduce of ∆W_l (Table 1, dp row).
+	Grad float64
+	// Psum scales the mp output partial-sum aggregation of F_{l+1}
+	// (Table 1, mp row).
+	Psum float64
+	// Convert scales the Table 2 inter-layer conversions (F and E
+	// boundary tensors between differently partitioned layers).
+	Convert float64
+}
+
+// UnitWeights is the paper's cost model: every class at weight 1.
+func UnitWeights() Weights { return Weights{Grad: 1, Psum: 1, Convert: 1} }
+
+// Validate checks that every weight is positive and finite.
+func (w Weights) Validate() error {
+	for _, v := range []float64{w.Grad, w.Psum, w.Convert} {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: cost weight %g", ErrPlan, v)
+		}
+	}
+	return nil
+}
+
+// costs builds the Algorithm 1 cost functions scaled by the weights.
+func (w Weights) costs() costs {
+	return costs{
+		intra: func(p comm.Parallelism, a comm.LayerAmounts) float64 {
+			switch p {
+			case comm.DP:
+				return w.Grad * a.DW
+			case comm.MP:
+				return w.Psum * a.FOut
+			default:
+				return 0
+			}
+		},
+		interF: func(prev, cur comm.Parallelism, a comm.LayerAmounts) float64 {
+			return w.Convert * comm.InterF(prev, cur, a)
+		},
+		interE: func(prev, cur comm.Parallelism, a comm.LayerAmounts) float64 {
+			return w.Convert * comm.InterE(prev, cur, a)
+		},
+	}
+}
+
+// TwoWayWeighted is TwoWay under platform cost weights: the same O(L)
+// dynamic program minimizing the weighted objective.
+func TwoWayWeighted(amounts []comm.LayerAmounts, w Weights) (float64, Assignment) {
+	return twoWayWith(amounts, w.costs())
+}
+
+// AssignmentCostWeighted evaluates the weighted Algorithm 1 objective
+// for a fixed assignment (the exhaustive reference the per-platform
+// conformance oracle compares TwoWayWeighted against).
+func AssignmentCostWeighted(amounts []comm.LayerAmounts, a Assignment, w Weights) float64 {
+	c := w.costs()
+	var total float64
+	for i := range amounts {
+		total += c.intra(a[i], amounts[i])
+		if i > 0 {
+			total += c.interF(a[i-1], a[i], amounts[i-1]) + c.interE(a[i-1], a[i], amounts[i-1])
+		}
+	}
+	return total
+}
+
+// HierarchicalWeighted is Hierarchical (Algorithm 2) under platform
+// cost weights. HierarchicalWeighted(m, b, l, UnitWeights()) is
+// identical to Hierarchical(m, b, l).
+func HierarchicalWeighted(m *nn.Model, batch, levels int, w Weights) (*Plan, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return hierarchicalWith(m, batch, levels, w.costs())
+}
+
+// EvaluateWeighted is Evaluate under platform cost weights: it computes
+// the weighted communication volumes of an arbitrary hierarchical
+// assignment.
+func EvaluateWeighted(m *nn.Model, batch int, levels []Assignment, w Weights) (*Plan, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	shapes, err := prepare(m, batch, len(levels))
+	if err != nil {
+		return nil, err
+	}
+	return evaluateShapesWith(m, batch, levels, shapes, w.costs())
+}
+
+// DataParallelWeighted is the Data Parallelism baseline with volumes
+// recorded under platform cost weights.
+func DataParallelWeighted(m *nn.Model, batch, levels int, w Weights) (*Plan, error) {
+	return uniformPlanWeighted(m, batch, levels, comm.DP, w)
+}
+
+// ModelParallelWeighted is the Model Parallelism baseline with volumes
+// recorded under platform cost weights.
+func ModelParallelWeighted(m *nn.Model, batch, levels int, w Weights) (*Plan, error) {
+	return uniformPlanWeighted(m, batch, levels, comm.MP, w)
+}
+
+// OneWeirdTrickWeighted is Krizhevsky's configuration with volumes
+// recorded under platform cost weights.
+func OneWeirdTrickWeighted(m *nn.Model, batch, levels int, w Weights) (*Plan, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	a := make(Assignment, len(m.Layers))
+	for l, layer := range m.Layers {
+		if layer.Type == nn.FC {
+			a[l] = comm.MP
+		} else {
+			a[l] = comm.DP
+		}
+	}
+	assigns := make([]Assignment, levels)
+	for h := range assigns {
+		assigns[h] = a.Clone()
+	}
+	return EvaluateWeighted(m, batch, assigns, w)
+}
+
+// uniformPlanWeighted builds a uniform plan evaluated under weights.
+func uniformPlanWeighted(m *nn.Model, batch, levels int, p comm.Parallelism, w Weights) (*Plan, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	assigns := make([]Assignment, levels)
+	for h := range assigns {
+		assigns[h] = Uniform(len(m.Layers), p)
+	}
+	return EvaluateWeighted(m, batch, assigns, w)
+}
+
+// BruteForceWeightedWith is BruteForceWith minimizing the weighted
+// objective — the exactness reference HierarchicalWeighted is compared
+// against in the per-platform conformance suite.
+func BruteForceWeightedWith(pool *runner.Pool, m *nn.Model, batch, levels int, w Weights) (*Plan, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return bruteForceWith(pool, m, batch, levels, w.costs())
+}
+
+// ExploreWeightedWith is ExploreWith with every point's volumes
+// recorded under platform cost weights.
+func ExploreWeightedWith(pool *runner.Pool, m *nn.Model, batch int, base []Assignment, free []FreeVar, w Weights) ([]ExplorePoint, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return exploreWith(pool, m, batch, base, free, w.costs())
+}

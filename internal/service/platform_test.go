@@ -1,0 +1,110 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	hypar "repro"
+)
+
+// TestComparePlatformsDistinct proves the /v1/compare surface accepts
+// every registered platform and that the platforms are semantically
+// distinct end to end: each request canonicalizes to its own
+// deterministic hash (so caching and coalescing never conflate
+// platforms) and each response carries different numbers.
+func TestComparePlatformsDistinct(t *testing.T) {
+	var mu sync.Mutex
+	keys := make(map[string]string) // key -> platform that computed it
+	srv, err := New(Options{
+		OnCompute: func(_, key string) {
+			mu.Lock()
+			defer mu.Unlock()
+			keys[key] = "seen"
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	platforms := hypar.Platforms()
+	if len(platforms) < 3 {
+		t.Fatalf("want at least 3 registered platforms, have %v", platforms)
+	}
+	bodies := make(map[string]string)
+	for _, p := range platforms {
+		code, body := postJSON(t, ts.URL+"/v1/compare",
+			fmt.Sprintf(`{"zoo":"Lenet-c","config":{"platform":%q}}`, p))
+		if code != http.StatusOK {
+			t.Fatalf("platform %s: status %d: %s", p, code, body)
+		}
+		bodies[p] = string(body)
+
+		var resp compareResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatalf("platform %s: decode: %v", p, err)
+		}
+		if resp.Config.Platform != p {
+			t.Errorf("platform %s: response config says %q", p, resp.Config.Platform)
+		}
+		// The base config leaves topology/link to the platform, so the
+		// override must resolve to the platform's native fabric.
+		plat, err := hypar.PlatformByName(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Config.Topology != plat.Topologies()[0] || resp.Config.LinkMbps != plat.DefaultLinkMbps() {
+			t.Errorf("platform %s: config resolved to %s@%g, want native %s@%g",
+				p, resp.Config.Topology, resp.Config.LinkMbps, plat.Topologies()[0], plat.DefaultLinkMbps())
+		}
+	}
+
+	mu.Lock()
+	nkeys := len(keys)
+	mu.Unlock()
+	if nkeys != len(platforms) {
+		t.Errorf("%d platforms computed %d distinct request hashes, want %d", len(platforms), nkeys, len(platforms))
+	}
+	seen := make(map[string]string)
+	for p, b := range bodies {
+		if prev, dup := seen[b]; dup {
+			t.Errorf("platforms %s and %s returned byte-identical comparisons", prev, p)
+		}
+		seen[b] = p
+	}
+}
+
+// TestPlatformCanonicalHash proves that spelling the default platform
+// explicitly hashes identically to leaving it out: the second request
+// must be a cache hit, not a recompute.
+func TestPlatformCanonicalHash(t *testing.T) {
+	srv, ts, computes := newTestServer(t)
+	_ = srv
+	code, _ := postJSON(t, ts.URL+"/v1/evaluate", `{"zoo":"Lenet-c"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	before := computes.Load()
+	code, _ = postJSON(t, ts.URL+"/v1/evaluate", `{"zoo":"Lenet-c","config":{"platform":"hmc"}}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if after := computes.Load(); after != before {
+		t.Errorf("explicit default platform recomputed (%d -> %d computes), want cache hit", before, after)
+	}
+}
+
+// TestPlatformUnknownRejected proves an unknown platform is a 400, not
+// a served evaluation.
+func TestPlatformUnknownRejected(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	code, body := postJSON(t, ts.URL+"/v1/evaluate", `{"zoo":"Lenet-c","config":{"platform":"quantum"}}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown platform: status %d: %s", code, body)
+	}
+}

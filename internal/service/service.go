@@ -10,7 +10,12 @@
 // plus GET /healthz (liveness) and GET /statsz (per-endpoint metrics).
 // Requests name either a zoo network ("zoo") or carry a full JSON
 // network description ("model", see nn.DecodeModel); the configuration
-// is a partial override of the server's base config.
+// is a partial override of the server's base config, including the
+// accelerator platform ("platform": "hmc", "gpu-hbm" or
+// "tpu-systolic") — overrides merge onto the operator's raw base
+// before canonicalization, so switching platform resolves topology and
+// link bandwidth to that platform's native defaults unless the
+// operator or request pinned them.
 //
 // Every request canonicalizes to a deterministic SHA-256 hash. Identical
 // concurrent requests coalesce onto one evaluation (singleflight) and
@@ -58,7 +63,11 @@ const (
 // Options configures a Server.
 type Options struct {
 	// Config is the base evaluation configuration; request configs are
-	// partial overrides of it. The zero value means hypar.DefaultConfig.
+	// partial overrides of it, applied before canonicalization — so a
+	// base that leaves Topology/LinkMbps empty lets a request that
+	// switches Platform resolve to that platform's native fabric. The
+	// zero value means hypar.DefaultConfig (the paper workload, with
+	// platform fields left to the canonical defaults).
 	Config hypar.Config
 	// Pool is the worker pool sweeps fan out on (nil = runner.Default).
 	Pool *runner.Pool
@@ -106,6 +115,11 @@ func (e *endpointStats) snapshot() statsSnapshot {
 // Server is the evaluation service: one shared experiments.Session and
 // hypar.Evaluator behind a coalescing, caching HTTP surface.
 type Server struct {
+	// baseRaw is the operator's base config exactly as given; request
+	// overrides decode onto it so fields the operator left to platform
+	// defaults stay overridable per request. base is its canonical form
+	// — the config the shared session runs at.
+	baseRaw hypar.Config
 	base    hypar.Config
 	pool    *runner.Pool
 	session *experiments.Session
@@ -130,11 +144,11 @@ type Server struct {
 // New builds a Server. The base config is validated eagerly so a
 // misconfigured daemon fails at startup, not per request.
 func New(opts Options) (*Server, error) {
-	cfg := opts.Config
-	if cfg == (hypar.Config{}) {
-		cfg = hypar.DefaultConfig()
+	raw := opts.Config
+	if raw == (hypar.Config{}) {
+		raw = hypar.DefaultConfig()
 	}
-	cfg = cfg.Canonical()
+	cfg := raw.Canonical()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -147,6 +161,7 @@ func New(opts Options) (*Server, error) {
 		entries = DefaultCacheEntries
 	}
 	s := &Server{
+		baseRaw:   raw,
 		base:      cfg,
 		pool:      pool,
 		session:   experiments.NewSessionWithPool(cfg, pool),
@@ -355,7 +370,7 @@ func (s *Server) parseRequest(r *http.Request, wantStrategy, wantFree bool) (*pa
 		p.strategy = *req.Strategy
 	}
 
-	p.cfg = s.base
+	p.cfg = s.baseRaw
 	if req.Config != nil {
 		cdec := json.NewDecoder(strings.NewReader(string(req.Config)))
 		cdec.DisallowUnknownFields()

@@ -4,21 +4,23 @@ import (
 	"fmt"
 
 	"repro/internal/comm"
-	"repro/internal/hmc"
 	"repro/internal/nn"
 	"repro/internal/noc"
 	"repro/internal/partition"
-	"repro/internal/pe"
+	"repro/internal/platform"
 	"repro/internal/tensor"
 	"repro/internal/trace"
 )
 
 // Arch bundles the hardware configuration of one HyPar accelerator
-// array: the per-cube HMC, the per-cube processing unit, and the
-// inter-cube network.
+// array: the per-node memory and energy model, the per-node compute
+// engine, and the inter-node network. The cost models are the
+// platform.Platform interfaces, so the same step builder simulates the
+// paper's HMC array, a GPU-HBM array or a TPU-style systolic array —
+// only the Arch contents change.
 type Arch struct {
-	HMC   hmc.Config
-	PE    pe.Config
+	Mem   platform.Memory
+	Comp  platform.Compute
 	NoC   noc.Topology
 	DType tensor.DType
 
@@ -38,19 +40,26 @@ type Arch struct {
 // DefaultArch returns the paper's evaluation platform: sixteen
 // HMC-based accelerators (H = 4) on an H-tree with 1600 Mb/s links.
 func DefaultArch(levels int) (Arch, error) {
-	ht, err := noc.NewHTree(levels, 1600)
+	p := platform.HMC()
+	ht, err := noc.NewHTree(levels, p.DefaultLinkMbps())
 	if err != nil {
 		return Arch{}, err
 	}
-	return Arch{HMC: hmc.Default(), PE: pe.Default(), NoC: ht, DType: tensor.Float32}, nil
+	return Arch{Mem: p.Memory(), Comp: p.Compute(), NoC: ht, DType: tensor.Float32}, nil
 }
 
 // Validate checks the architecture.
 func (a Arch) Validate() error {
-	if err := a.HMC.Validate(); err != nil {
+	if a.Mem == nil {
+		return fmt.Errorf("%w: nil memory model", ErrSim)
+	}
+	if err := a.Mem.Validate(); err != nil {
 		return err
 	}
-	if err := a.PE.Validate(); err != nil {
+	if a.Comp == nil {
+		return fmt.Errorf("%w: nil compute model", ErrSim)
+	}
+	if err := a.Comp.Validate(); err != nil {
 		return err
 	}
 	if a.NoC == nil {
@@ -188,7 +197,7 @@ func simulateOn(eng *Engine, m *nn.Model, plan *partition.Plan, arch Arch) (*Sta
 	}
 	b.stats.CommBytes = plan.TotalBytes(arch.DType)
 	b.stats.PeakMemoryBytes = b.workingSet()
-	b.stats.FitsMemory = arch.HMC.Fits(b.stats.PeakMemoryBytes)
+	b.stats.FitsMemory = arch.Mem.Fits(b.stats.PeakMemoryBytes)
 	b.stats.Tasks = b.eng.NumTasks()
 	if arch.CollectTrace {
 		b.stats.Trace = b.eng.TraceRecords()
@@ -276,11 +285,11 @@ func (b *stepBuilder) phaseTask(name string, l int, p nn.Phase, deps ...*Task) (
 	n := b.accs()
 
 	perAccMACs := float64(s.MACs(p)) / n
-	computeT := b.arch.PE.ComputeTime(perAccMACs, s)
+	computeT := b.arch.Comp.ComputeTime(perAccMACs, s)
 
 	opBytes, resBytes := b.phaseBytes(l, p)
-	traffic := b.arch.PE.DRAMTraffic(s, opBytes, resBytes)
-	dramT := b.arch.HMC.DRAMTime(traffic)
+	traffic := b.arch.Comp.DRAMTraffic(s, opBytes, resBytes)
+	dramT := b.arch.Mem.DRAMTime(traffic)
 
 	dur := computeT
 	if dramT > dur {
@@ -288,19 +297,19 @@ func (b *stepBuilder) phaseTask(name string, l int, p nn.Phase, deps ...*Task) (
 	}
 
 	// Energy, array-wide.
-	b.stats.EnergyCompute += b.arch.HMC.MACEnergy(perAccMACs * n)
-	b.stats.EnergySRAM += b.arch.HMC.SRAMEnergy(2 * perAccMACs * n)
-	b.stats.EnergyDRAM += b.arch.HMC.DRAMEnergy(traffic * n)
+	b.stats.EnergyCompute += b.arch.Mem.MACEnergy(perAccMACs * n)
+	b.stats.EnergySRAM += b.arch.Mem.SRAMEnergy(2 * perAccMACs * n)
+	b.stats.EnergyDRAM += b.arch.Mem.DRAMEnergy(traffic * n)
 	b.stats.DRAMBytes += traffic * n
 	if p == nn.Forward {
 		// Activation and pooling, local element-wise work.
 		aux := float64(s.ActOps()+s.PoolOps()) / n
-		b.stats.EnergyCompute += b.arch.HMC.AddEnergy(aux * n)
+		b.stats.EnergyCompute += b.arch.Mem.AddEnergy(aux * n)
 	}
 	if p == nn.Gradient {
 		// Weight update: one multiply-add per local weight shard.
 		upd := sh.KernelElems(s.Kernel)
-		b.stats.EnergyCompute += b.arch.HMC.AddEnergy(upd * n)
+		b.stats.EnergyCompute += b.arch.Mem.AddEnergy(upd * n)
 	}
 	return b.eng.AddTask(name, dur, b.compute, deps...)
 }
@@ -345,7 +354,7 @@ func (b *stepBuilder) transferChain(name string, vols func(h int) float64, prev 
 		if err != nil {
 			return nil, err
 		}
-		b.stats.EnergyLink += b.arch.HMC.LinkEnergy(linkBytes)
+		b.stats.EnergyLink += b.arch.Mem.LinkEnergy(linkBytes)
 		id := ""
 		if b.named {
 			id = fmt.Sprintf("%s@H%d", name, h+1)

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"testing"
 
+	"repro/internal/hmc"
 	"repro/internal/nn"
 	"repro/internal/noc"
 	"repro/internal/partition"
+	"repro/internal/pe"
 	"repro/internal/tensor"
 )
 
@@ -243,17 +245,32 @@ func TestSimulateErrors(t *testing.T) {
 	if s, err := Simulate(m, single, a); err != nil || s.StepSeconds <= 0 {
 		t.Errorf("single-accelerator plan rejected: %v", err)
 	}
-	// Invalid PE config.
+	// Invalid compute model.
+	badPE := pe.Default()
+	badPE.GOPS = 0
 	bad3 := a
-	bad3.PE.GOPS = 0
+	bad3.Comp = badPE
 	if _, err := Simulate(m, plan, bad3); err == nil {
-		t.Error("invalid PE config accepted")
+		t.Error("invalid compute model accepted")
 	}
-	// Invalid HMC config.
+	// Invalid memory model.
+	badHMC := hmc.Default()
+	badHMC.BandwidthGBs = 0
 	bad4 := a
-	bad4.HMC.BandwidthGBs = 0
+	bad4.Mem = badHMC
 	if _, err := Simulate(m, plan, bad4); err == nil {
-		t.Error("invalid HMC config accepted")
+		t.Error("invalid memory model accepted")
+	}
+	// Nil cost models.
+	bad5 := a
+	bad5.Comp = nil
+	if _, err := Simulate(m, plan, bad5); !errors.Is(err, ErrSim) {
+		t.Errorf("nil compute model accepted: %v", err)
+	}
+	bad6 := a
+	bad6.Mem = nil
+	if _, err := Simulate(m, plan, bad6); !errors.Is(err, ErrSim) {
+		t.Errorf("nil memory model accepted: %v", err)
 	}
 }
 

@@ -1,0 +1,141 @@
+// Command doccheck enforces the repository's documentation contract in
+// CI (the docs job):
+//
+//  1. every exported identifier of the public hypar package (the
+//     repository root) carries a doc comment, and
+//  2. every relative markdown link in README.md, PAPER.md, ROADMAP.md
+//     and docs/ points at a file that exists.
+//
+// Usage:
+//
+//	go run ./scripts/doccheck [repo-root]
+//
+// The root defaults to the current directory. doccheck prints one line
+// per violation and exits non-zero if it found any.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+	problems = append(problems, checkDocComments(root)...)
+	problems = append(problems, checkMarkdownLinks(root)...)
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Printf("doccheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: ok")
+}
+
+// checkDocComments parses the root package and reports every exported
+// top-level identifier (functions, methods, types, vars, consts)
+// without a doc comment.
+func checkDocComments(root string) []string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, root, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("parse %s: %v", root, err)}
+	}
+	var out []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc == nil {
+						kind := "function"
+						if d.Recv != nil {
+							kind = "method"
+						}
+						report(d.Pos(), kind, d.Name.Name)
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && s.Doc == nil && !(len(d.Specs) == 1 && d.Doc != nil) {
+								report(s.Pos(), "type", s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							for _, n := range s.Names {
+								if n.IsExported() && s.Doc == nil && !(len(d.Specs) == 1 && d.Doc != nil) {
+									report(n.Pos(), strings.ToLower(d.Tok.String()), n.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// mdLink matches [text](target) markdown links.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkMarkdownLinks verifies every relative link target in the
+// documentation surface exists on disk.
+func checkMarkdownLinks(root string) []string {
+	files := []string{
+		filepath.Join(root, "README.md"),
+		filepath.Join(root, "PAPER.md"),
+		filepath.Join(root, "ROADMAP.md"),
+	}
+	docs, _ := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	files = append(files, docs...)
+
+	var out []string
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			if os.IsNotExist(err) && filepath.Base(file) != "README.md" {
+				continue // optional surface
+			}
+			out = append(out, fmt.Sprintf("%s: %v", file, err))
+			continue
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+					strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+					continue
+				}
+				if idx := strings.IndexByte(target, '#'); idx >= 0 {
+					target = target[:idx]
+				}
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(file), target)
+				if _, err := os.Stat(resolved); err != nil {
+					out = append(out, fmt.Sprintf("%s:%d: broken link %q (%s does not exist)", file, i+1, m[1], resolved))
+				}
+			}
+		}
+	}
+	return out
+}
