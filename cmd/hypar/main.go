@@ -12,6 +12,13 @@
 //	hypar -model VGG-A -platform gpu-hbm  # simulate on another backend
 //	hypar -experiment fig8 -csv           # emit CSV instead of a table
 //
+// With -remote the CLI turns into a batch client for a running hypard
+// daemon: -model takes a comma-separated list, the models are posted
+// as one /v1/batch request, and the daemon's NDJSON lines (one JSON
+// result per model, in order) stream to stdout:
+//
+//	hypar -remote http://127.0.0.1:8080 -model VGG-A,AlexNet,Lenet-c
+//
 // Flags -batch, -levels, -platform, -topology, -link override the paper
 // defaults (256, 4, hmc, and the platform's native fabric and link
 // rate — htree at 1600 Mb/s for hmc). -platforms lists the registered
@@ -19,9 +26,13 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 
@@ -58,6 +69,7 @@ func run(args []string, w io.Writer) error {
 		topology   = fs.String("topology", "", "htree | torus | ideal (default: the platform's native fabric)")
 		link       = fs.Float64("link", 0, "NoC link bandwidth, Mb/s (default: the platform's native rate)")
 		overlap    = fs.Bool("overlap", false, "overlap gradient communication (ablation)")
+		remote     = fs.String("remote", "", "hypard base URL: evaluate -model (comma-separated list) via the daemon's /v1/batch instead of in-process")
 		traceFile  = fs.String("trace", "", "write a Chrome trace of the simulated step to this file")
 		parallel   = fs.Bool("parallel", true, "fan experiment sweeps out over all CPUs")
 		workers    = fs.Int("workers", 0, "worker pool width (0 = GOMAXPROCS; implies -parallel)")
@@ -113,6 +125,8 @@ func run(args []string, w io.Writer) error {
 				name, p.Describe(), p.Topologies(), p.DefaultLinkMbps())
 		}
 		return nil
+	case *remote != "":
+		return runRemote(*remote, *model, *strategy, *planOnly, cfg, w)
 	case *experiment != "":
 		return runExperiments(strings.ToLower(*experiment), cfg, emit)
 	case *model != "":
@@ -121,6 +135,79 @@ func run(args []string, w io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("nothing to do: pass -experiment, -model or -list")
 	}
+}
+
+// runRemote is the batch client mode: it posts every named model as
+// one /v1/batch request to a running hypard daemon and streams the
+// NDJSON result lines (one per model, in input order) to w. planOnly
+// selects the "plan" endpoint per item; otherwise items evaluate. The
+// config flags ride along as each item's explicit config override.
+func runRemote(base, models, strategyName string, planOnly bool, cfg hypar.Config, w io.Writer) error {
+	if models == "" {
+		return fmt.Errorf("-remote needs -model (a comma-separated list of zoo models)")
+	}
+	endpoint := "evaluate"
+	if planOnly {
+		endpoint = "plan"
+	}
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		return err
+	}
+	type item struct {
+		Endpoint string          `json:"endpoint"`
+		Zoo      string          `json:"zoo"`
+		Strategy string          `json:"strategy"`
+		Config   json.RawMessage `json:"config"`
+	}
+	var items []item
+	for _, name := range strings.Split(models, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		items = append(items, item{Endpoint: endpoint, Zoo: name, Strategy: strategyName, Config: cfgJSON})
+	}
+	if len(items) == 0 {
+		return fmt.Errorf("-remote: no models named in %q", models)
+	}
+	body, err := json.Marshal(struct {
+		Items []item `json:"items"`
+	}{Items: items})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(strings.TrimRight(base, "/")+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("hypard: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	// Per-item failures arrive in-band as {"error":...} lines under an
+	// HTTP 200 (other items still answer); stream every line through
+	// but report a failed exit when any item failed, so scripts don't
+	// mistake a broken batch for success.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	failed := 0
+	for sc.Scan() {
+		if bytes.HasPrefix(sc.Bytes(), []byte(`{"error":`)) {
+			failed++
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", sc.Bytes()); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if failed > 0 {
+		return fmt.Errorf("hypard: %d of %d batch items failed (see the error lines above)", failed, len(items))
+	}
+	return nil
 }
 
 // runModel plans (and unless planOnly, simulates) one network.

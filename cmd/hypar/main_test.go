@@ -1,9 +1,12 @@
 package main
 
 import (
+	"net/http/httptest"
 	"os"
 	"strings"
 	"testing"
+
+	"repro/internal/service"
 )
 
 func TestRunList(t *testing.T) {
@@ -125,5 +128,66 @@ func TestRunTraceFlag(t *testing.T) {
 	// An unwritable path fails cleanly.
 	if err := run([]string{"-model", "Lenet-c", "-trace", dir + "/nope/x.json"}, &b); err == nil {
 		t.Error("unwritable trace path accepted")
+	}
+}
+
+// TestRunRemoteBatch drives the -remote batch client against an
+// in-process hypard service: one /v1/batch POST for a comma-separated
+// model list, NDJSON result lines in input order.
+func TestRunRemoteBatch(t *testing.T) {
+	srv, err := service.New(service.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var b strings.Builder
+	if err := run([]string{"-remote", ts.URL, "-model", "Lenet-c, SFC", "-strategy", "hypar"}, &b); err != nil {
+		t.Fatalf("run -remote: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 NDJSON lines, got %d:\n%s", len(lines), b.String())
+	}
+	if !strings.Contains(lines[0], `"model":"Lenet-c"`) || !strings.Contains(lines[1], `"model":"SFC"`) {
+		t.Errorf("lines out of order or wrong models:\n%s", b.String())
+	}
+	for i, l := range lines {
+		if !strings.Contains(l, `"stepSeconds"`) {
+			t.Errorf("line %d carries no simulation stats: %s", i, l)
+		}
+	}
+
+	// Plan-only remote mode selects the plan endpoint (no stats).
+	var pb strings.Builder
+	if err := run([]string{"-remote", ts.URL, "-model", "SFC", "-plan"}, &pb); err != nil {
+		t.Fatalf("run -remote -plan: %v", err)
+	}
+	if strings.Contains(pb.String(), `"stats"`) {
+		t.Errorf("plan-only remote output contains stats: %s", pb.String())
+	}
+
+	// Errors surface: no models, unreachable daemon.
+	if err := run([]string{"-remote", ts.URL}, &pb); err == nil {
+		t.Error("-remote without -model accepted")
+	}
+	if err := run([]string{"-remote", "http://127.0.0.1:1", "-model", "SFC"}, &pb); err == nil {
+		t.Error("unreachable daemon did not error")
+	}
+
+	// Per-item failures arrive as in-band {"error":...} lines under an
+	// HTTP 200; the client must still stream every line AND exit
+	// non-zero so scripts see the failure.
+	var fb strings.Builder
+	err = run([]string{"-remote", ts.URL, "-model", "SFC,NoSuchNet"}, &fb)
+	if err == nil {
+		t.Error("batch with a failed item exited zero")
+	} else if !strings.Contains(err.Error(), "1 of 2") {
+		t.Errorf("failure count missing from error: %v", err)
+	}
+	flines := strings.Split(strings.TrimSpace(fb.String()), "\n")
+	if len(flines) != 2 || !strings.Contains(flines[0], `"model":"SFC"`) || !strings.Contains(flines[1], `"error"`) {
+		t.Errorf("failed-batch output mangled:\n%s", fb.String())
 	}
 }

@@ -1,17 +1,20 @@
 // Command hypard serves the HyPar evaluation library over HTTP/JSON: a
 // long-running daemon exposing planning (/v1/plan), simulation
-// (/v1/evaluate), strategy comparison (/v1/compare) and streamed
-// parallelism-space sweeps (/v1/explore NDJSON), with request
-// coalescing and a bounded result cache in front of one shared
-// evaluator. See the README's "hypard service" section for the request
-// schema and curl examples.
+// (/v1/evaluate), strategy comparison (/v1/compare), streamed
+// parallelism-space sweeps (/v1/explore NDJSON), batched evaluation
+// (/v1/batch) and asynchronous sweep jobs (/v1/jobs), with request
+// coalescing, a sharded bounded result cache and a config-keyed
+// session cache in front of one shared evaluator. See docs/API.md for
+// the request schema and curl examples.
 //
 // Usage:
 //
 //	hypard -addr :8080
 //	hypard -addr :8080 -workers 4 -cache 512 -batch 256 -levels 4
+//	hypard -addr :8080 -jobs 128 -sessions 64
 //
-// SIGINT/SIGTERM drain in-flight requests and exit cleanly.
+// SIGINT/SIGTERM drain in-flight requests — NDJSON streams and async
+// jobs included — and exit cleanly.
 package main
 
 import (
@@ -49,6 +52,8 @@ func run(args []string, w io.Writer, ready func(addr string, stop func())) error
 		addr     = fs.String("addr", ":8080", "listen address")
 		workers  = fs.Int("workers", 0, "worker pool width (0 = GOMAXPROCS)")
 		cache    = fs.Int("cache", service.DefaultCacheEntries, "result cache entries (negative disables)")
+		sessions = fs.Int("sessions", service.DefaultSessionEntries, "cached non-base-config sessions (negative disables reuse)")
+		jobs     = fs.Int("jobs", service.DefaultJobEntries, "async job table entries (negative disables /v1/jobs)")
 		batch    = fs.Int("batch", 256, "default mini-batch size")
 		levels   = fs.Int("levels", 4, "default hierarchy depth H (2^H accelerators)")
 		plat     = fs.String("platform", "hmc", "default platform: hmc | gpu-hbm | tpu-systolic")
@@ -65,8 +70,10 @@ func run(args []string, w io.Writer, ready func(addr string, stop func())) error
 		Config: hypar.Config{
 			Batch: *batch, Levels: *levels, Platform: *plat, Topology: *topology, LinkMbps: *link,
 		},
-		Pool:         pool,
-		CacheEntries: *cache,
+		Pool:           pool,
+		CacheEntries:   *cache,
+		SessionEntries: *sessions,
+		JobEntries:     *jobs,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,101 @@
+// Package lru provides the one bounded, thread-safe LRU cache the rest
+// of the repository builds on: the service's sharded response cache,
+// its decoded-model intern cache, and the experiments session cache
+// are all instances of Cache rather than hand-rolled copies — eviction
+// and locking invariants live here once, not per call site.
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a bounded, thread-safe LRU keyed by any comparable type.
+// The entry count (not value size) is the bound. A bound <= 0 disables
+// storage: every Get misses and every Put is dropped, while GetOrAdd
+// still builds (it just does not retain).
+type Cache[K comparable, V any] struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[K]*list.Element
+}
+
+// entry is one cached value with its key (needed for eviction).
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New builds a cache bounded to max entries.
+func New[K comparable, V any](max int) *Cache[K, V] {
+	return &Cache[K, V]{max: max, ll: list.New(), items: make(map[K]*list.Element)}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry[K, V]).val, true
+}
+
+// Put inserts or refreshes the value, evicting the least recently used
+// entries beyond the bound.
+func (c *Cache[K, V]) Put(key K, val V) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*entry[K, V]).val = val
+		return
+	}
+	c.insert(key, val)
+}
+
+// GetOrAdd returns the cached value for key, building (and caching) it
+// with build on a miss. build runs under the cache lock, which makes
+// "exactly one build per key" exact under concurrent misses — keep it
+// cheap. The second result reports whether build ran. With a disabled
+// bound every call builds and nothing is retained.
+func (c *Cache[K, V]) GetOrAdd(key K, build func() V) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry[K, V]).val, false
+	}
+	val := build()
+	if c.max > 0 {
+		c.insert(key, val)
+	}
+	return val, true
+}
+
+// insert adds a fresh entry and evicts past the bound. Callers hold mu.
+func (c *Cache[K, V]) insert(key K, val V) {
+	c.items[key] = c.ll.PushFront(&entry[K, V]{key: key, val: val})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*entry[K, V]).key)
+	}
+}
+
+// Len returns the current entry count.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Max returns the configured bound.
+func (c *Cache[K, V]) Max() int { return c.max }

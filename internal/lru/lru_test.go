@@ -1,0 +1,101 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestLRUOrder pins the recency contract: Get refreshes, eviction takes
+// the least recently used entry.
+func TestLRUOrder(t *testing.T) {
+	c := New[string, string](2)
+	c.Put("a", "A")
+	c.Put("b", "B")
+	if v, ok := c.Get("a"); !ok || v != "A" {
+		t.Fatal("a missing")
+	}
+	c.Put("c", "C") // evicts b (a was refreshed)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a evicted out of LRU order")
+	}
+	if c.Len() != 2 || c.Max() != 2 {
+		t.Errorf("Len=%d Max=%d", c.Len(), c.Max())
+	}
+	// Put on an existing key refreshes the value in place.
+	c.Put("a", "A2")
+	if v, _ := c.Get("a"); v != "A2" {
+		t.Errorf("refresh lost: %q", v)
+	}
+	if c.Len() != 2 {
+		t.Errorf("refresh grew the cache to %d", c.Len())
+	}
+}
+
+// TestLRUDisabled pins the max <= 0 contract: nothing is retained, and
+// GetOrAdd still builds every call.
+func TestLRUDisabled(t *testing.T) {
+	c := New[string, int](-1)
+	c.Put("x", 1)
+	if _, ok := c.Get("x"); ok || c.Len() != 0 {
+		t.Error("disabled cache stored an entry")
+	}
+	builds := 0
+	for i := 0; i < 3; i++ {
+		if _, built := c.GetOrAdd("x", func() int { builds++; return 7 }); !built {
+			t.Error("disabled GetOrAdd claimed a hit")
+		}
+	}
+	if builds != 3 {
+		t.Errorf("builds=%d, want 3", builds)
+	}
+}
+
+// TestGetOrAddOnce proves concurrent misses of one key build exactly
+// once (build runs under the lock).
+func TestGetOrAddOnce(t *testing.T) {
+	c := New[int, int](8)
+	var builds, hits int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, built := c.GetOrAdd(1, func() int { builds++; return 42 })
+			mu.Lock()
+			if !built {
+				hits++
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if builds != 1 {
+		t.Errorf("builds=%d for 16 concurrent GetOrAdds, want 1", builds)
+	}
+	if hits != 15 {
+		t.Errorf("hits=%d, want 15", hits)
+	}
+	if v, ok := c.Get(1); !ok || v != 42 {
+		t.Errorf("Get(1) = %d, %v", v, ok)
+	}
+}
+
+// TestLRUBoundUnderChurn floods the cache and checks the bound holds.
+func TestLRUBoundUnderChurn(t *testing.T) {
+	const max = 16
+	c := New[string, int](max)
+	for i := 0; i < 40*max; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+		if n := c.Len(); n > max {
+			t.Fatalf("len %d exceeds bound %d after %d puts", n, max, i+1)
+		}
+	}
+	if c.Len() != max {
+		t.Errorf("steady-state len %d, want %d", c.Len(), max)
+	}
+}

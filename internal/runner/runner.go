@@ -18,6 +18,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -153,6 +154,25 @@ func Map[T, R any](p *Pool, items []T, fn func(i int, item T) (R, error)) ([]R, 
 		return nil, err
 	}
 	return out, nil
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is done, no
+// further items are dispatched and the context's error is reported
+// (items already claimed by a worker still run to completion — the
+// pool never abandons claimed work). A nil ctx behaves exactly like
+// Map. The service's batch endpoint uses this so a client that
+// disconnects mid-batch stops consuming pool capacity.
+func MapCtx[T, R any](ctx context.Context, p *Pool, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	if ctx == nil {
+		return Map(p, items, fn)
+	}
+	return Map(p, items, func(i int, item T) (R, error) {
+		if err := ctx.Err(); err != nil {
+			var zero R
+			return zero, err
+		}
+		return fn(i, item)
+	})
 }
 
 // MapWith is Map with per-worker state: newState runs once per worker

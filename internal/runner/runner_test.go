@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -170,5 +171,56 @@ func TestChunksCoverRange(t *testing.T) {
 		if next != tc.n {
 			t.Fatalf("Chunks(%v): covered %d of %d", tc, next, tc.n)
 		}
+	}
+}
+
+// TestMapCtx checks the context-aware fan-out: a nil context behaves
+// like Map, a live context completes normally, and a canceled context
+// stops dispatch and surfaces the context error.
+func TestMapCtx(t *testing.T) {
+	items := make([]int, 32)
+	double := func(i, _ int) (int, error) { return 2 * i, nil }
+
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		got, err := MapCtx(ctx, New(4), items, double)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != 2*i {
+				t.Fatalf("ctx=%v: got[%d]=%d", ctx, i, v)
+			}
+		}
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := MapCtx(canceled, New(4), items, func(i, _ int) (int, error) {
+		ran.Add(1)
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d items ran under a pre-canceled context", ran.Load())
+	}
+
+	// Cancellation mid-run stops dispatch without abandoning claimed
+	// work: every item either ran fully or never started.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	var started atomic.Int64
+	_, err = MapCtx(ctx2, New(2), make([]int, 100), func(i, _ int) (int, error) {
+		if started.Add(1) == 3 {
+			cancel2()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel: err = %v", err)
+	}
+	if n := started.Load(); n >= 100 {
+		t.Errorf("cancellation did not stop dispatch (%d items ran)", n)
 	}
 }

@@ -1,0 +1,205 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// batchLines POSTs a /v1/batch body and returns the NDJSON lines (each
+// still carrying its trailing newline).
+func batchLines(t *testing.T, url, body string) (int, [][]byte) {
+	t.Helper()
+	code, raw := postJSON(t, url+"/v1/batch", body)
+	if len(raw) == 0 {
+		return code, nil
+	}
+	var lines [][]byte
+	for _, l := range bytes.SplitAfter(raw, []byte("\n")) {
+		if len(l) > 0 {
+			lines = append(lines, l)
+		}
+	}
+	return code, lines
+}
+
+// TestBatchByteIdentical proves every batch item's line is
+// byte-identical to the corresponding single-request endpoint's
+// response, across all three batchable endpoints.
+func TestBatchByteIdentical(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	singles := []struct {
+		endpoint string
+		body     string
+	}{
+		{"evaluate", `{"zoo":"Lenet-c","strategy":"hypar"}`},
+		{"plan", `{"zoo":"AlexNet","strategy":"trick"}`},
+		{"compare", `{"zoo":"SFC"}`},
+		{"evaluate", `{"zoo":"SCONV","strategy":"dp","config":{"batch":64}}`},
+	}
+	want := make([][]byte, len(singles))
+	for i, sg := range singles {
+		code, b := postJSON(t, ts.URL+"/v1/"+sg.endpoint, sg.body)
+		if code != http.StatusOK {
+			t.Fatalf("single %s: status %d: %s", sg.endpoint, code, b)
+		}
+		want[i] = b
+	}
+
+	items := make([]string, len(singles))
+	for i, sg := range singles {
+		items[i] = fmt.Sprintf(`{"endpoint":%q,%s`, sg.endpoint, sg.body[1:])
+	}
+	code, lines := batchLines(t, ts.URL, `{"items":[`+strings.Join(items, ",")+`]}`)
+	if code != http.StatusOK {
+		t.Fatalf("batch status %d", code)
+	}
+	if len(lines) != len(singles) {
+		t.Fatalf("want %d lines, got %d", len(singles), len(lines))
+	}
+	for i := range singles {
+		if !bytes.Equal(lines[i], want[i]) {
+			t.Errorf("item %d (%s) differs from single request:\nbatch:  %s\nsingle: %s",
+				i, singles[i].endpoint, lines[i], want[i])
+		}
+	}
+}
+
+// TestBatchDedupesIdenticalItems proves N copies of one item inside a
+// batch compute exactly once (counter-hook-verified) and return
+// identical bytes, and that spelling variants canonicalize onto the
+// same computation.
+func TestBatchDedupesIdenticalItems(t *testing.T) {
+	srv, ts, computes := newTestServer(t)
+	items := []string{
+		`{"zoo":"VGG-A","strategy":"hypar"}`,
+		`{"endpoint":"evaluate","zoo":"VGG-A","strategy":"hypar"}`,
+		`{"strategy":"HyPar","zoo":"VGG-A"}`,
+		`{"zoo":"VGG-A","strategy":"hypar","config":{"batch":256,"levels":4}}`,
+	}
+	code, lines := batchLines(t, ts.URL, `{"items":[`+strings.Join(items, ",")+`]}`)
+	if code != http.StatusOK {
+		t.Fatalf("batch status %d", code)
+	}
+	if len(lines) != len(items) {
+		t.Fatalf("want %d lines, got %d", len(items), len(lines))
+	}
+	for i := 1; i < len(lines); i++ {
+		if !bytes.Equal(lines[0], lines[i]) {
+			t.Errorf("line %d differs from line 0", i)
+		}
+	}
+	if got := computes.Load(); got != 1 {
+		t.Errorf("computes=%d for %d identical batch items, want exactly 1", got, len(items))
+	}
+	if co := srv.metrics["evaluate"].coalesced.Load(); co != int64(len(items)-1) {
+		t.Errorf("coalesced=%d, want %d (intra-batch duplicates)", co, len(items)-1)
+	}
+
+	// The batch populated the shared cache: the same request as a
+	// single request replays without recomputation.
+	if code, _ := postJSON(t, ts.URL+"/v1/evaluate", items[0]); code != http.StatusOK {
+		t.Fatalf("single replay status %d", code)
+	}
+	if got := computes.Load(); got != 1 {
+		t.Errorf("single request after batch recomputed (computes=%d)", got)
+	}
+}
+
+// TestBatchPerItemErrors proves invalid items fail individually — the
+// valid items still answer, in order — and the error lines use the
+// uniform error body.
+func TestBatchPerItemErrors(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	items := []string{
+		`{"zoo":"Lenet-c"}`,
+		`{"zoo":"NoSuchNet"}`,
+		`{"endpoint":"explore","zoo":"SFC"}`,
+		`{"endpoint":"compare","zoo":"SFC","strategy":"dp"}`,
+		`{"zoo":"SFC"}`,
+	}
+	code, lines := batchLines(t, ts.URL, `{"items":[`+strings.Join(items, ",")+`]}`)
+	if code != http.StatusOK {
+		t.Fatalf("batch status %d", code)
+	}
+	if len(lines) != len(items) {
+		t.Fatalf("want %d lines, got %d", len(items), len(lines))
+	}
+	for i, wantErr := range []bool{false, true, true, true, false} {
+		isErr := bytes.HasPrefix(lines[i], []byte(`{"error":`))
+		if isErr != wantErr {
+			t.Errorf("item %d: error=%v, want %v: %s", i, isErr, wantErr, lines[i])
+		}
+	}
+	if !bytes.Contains(lines[1], []byte("item 1")) {
+		t.Errorf("error line does not name its item: %s", lines[1])
+	}
+	if !bytes.Contains(lines[2], []byte("unknown endpoint")) {
+		t.Errorf("explore endpoint not rejected: %s", lines[2])
+	}
+}
+
+// TestBatchEnvelopeErrors exercises whole-batch failures.
+func TestBatchEnvelopeErrors(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty items", `{"items":[]}`},
+		{"missing items", `{}`},
+		{"bad json", `{"items":`},
+		{"unknown field", `{"items":[{"zoo":"SFC"}],"mode":"fast"}`},
+		{"too many items", `{"items":[` + strings.Repeat(`{"zoo":"SFC"},`, MaxBatchItems) + `{"zoo":"SFC"}]}`},
+	}
+	for _, tc := range cases {
+		code, body := postJSON(t, ts.URL+"/v1/batch", tc.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, code, body)
+		}
+	}
+}
+
+// TestPanicContainment proves a panicking computation reached through
+// a bare goroutine — an async job or a batch pool worker, neither of
+// which sits under net/http's per-connection recover — is contained as
+// that consumer's error instead of killing the daemon.
+func TestPanicContainment(t *testing.T) {
+	srv, err := New(Options{
+		OnCompute: func(string, string) { panic("boom") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Batch: the panicking item fails in-band; the batch answers 200.
+	code, lines := batchLines(t, ts.URL, `{"items":[{"zoo":"SFC"}]}`)
+	if code != http.StatusOK || len(lines) != 1 {
+		t.Fatalf("batch status %d, %d lines", code, len(lines))
+	}
+	if !bytes.Contains(lines[0], []byte("panic")) {
+		t.Errorf("batch item line does not report the panic: %s", lines[0])
+	}
+	if e := srv.metrics["evaluate"].errors.Load(); e != 1 {
+		t.Errorf("evaluate errors=%d after failed batch item, want 1", e)
+	}
+
+	// Job: the panic lands as a failed job, not a dead process.
+	st := submitJob(t, ts.URL, `{"zoo":"SFC","free":[{"level":0,"layer":0}]}`)
+	fin := waitJob(t, ts.URL, st.ID)
+	if fin.Status != jobStateFailed || !strings.Contains(fin.Error, "panic") {
+		t.Errorf("job after panic: %+v, want failed with panic error", fin)
+	}
+
+	// The server is still alive and serving.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("daemon died after contained panics: %v", err)
+	}
+	resp.Body.Close()
+}

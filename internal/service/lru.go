@@ -1,69 +1,93 @@
 package service
 
 import (
-	"container/list"
-	"sync"
+	"repro/internal/lru"
 )
 
-// lruCache is a bounded, thread-safe LRU over rendered responses keyed
-// by request hash. Entry count (not bytes) is the bound: response
-// bodies are small and uniform except for explore sweeps, whose point
-// count the handler already caps.
-type lruCache struct {
-	mu    sync.Mutex
-	max   int
-	ll    *list.List // front = most recent
-	items map[string]*list.Element
-}
+// flightShards is the stripe count of the singleflight table. Response
+// cache striping adapts to the configured capacity (see lruShardsFor);
+// the flight table holds only in-progress work, so a fixed power of two
+// is always fine.
+const flightShards = 16
 
-// lruEntry is one cached response with its key (needed for eviction).
-type lruEntry struct {
-	key  string
-	resp response
-}
-
-// newLRU builds a cache bounded to max entries; max <= 0 disables
-// caching (every Get misses, every Put is dropped).
-func newLRU(max int) *lruCache {
-	return &lruCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
-}
-
-// Get returns the cached response and marks it most recently used.
-func (c *lruCache) Get(key string) (response, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
-	if !ok {
-		return response{}, false
+// shardIndex picks the stripe for a request hash: FNV-1a over the key,
+// masked to the (power of two) shard count. Request hashes are hex
+// SHA-256, so any decent mix spreads them uniformly.
+func shardIndex(key string, shards int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
 	}
-	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).resp, true
+	return int(h & uint32(shards-1))
 }
 
-// Put inserts or refreshes the response, evicting the least recently
-// used entries beyond the bound.
-func (c *lruCache) Put(key string, resp response) {
-	if c.max <= 0 {
-		return
+// lruShardsFor picks the response-cache stripe count for a capacity:
+// 16 shards when the cache is large enough that every shard holds a
+// useful working set (>= 4 entries), halving down to a single shard —
+// exact global LRU — for small caches, where striping would cost
+// precision without relieving any real contention.
+func lruShardsFor(max int) int {
+	shards := 16
+	for shards > 1 && max/shards < 4 {
+		shards /= 2
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		el.Value.(*lruEntry).resp = resp
-		return
-	}
-	c.items[key] = c.ll.PushFront(&lruEntry{key: key, resp: resp})
-	for c.ll.Len() > c.max {
-		last := c.ll.Back()
-		c.ll.Remove(last)
-		delete(c.items, last.Value.(*lruEntry).key)
-	}
+	return shards
 }
 
-// Len returns the current entry count.
-func (c *lruCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+// shardedLRU stripes the response cache into independently locked
+// lru.Cache shards keyed by request hash, so concurrent hot-path Gets
+// on different keys proceed without contending on one global mutex.
+// The total capacity is divided across shards (first shards absorb the
+// remainder), which keeps the eviction-bound invariant exact: the
+// summed entry count never exceeds max. Recency is per shard — a
+// pathological key distribution can evict earlier than a global LRU
+// would, but hashes are uniform, so shard loads stay within noise of
+// each other.
+type shardedLRU struct {
+	shards []*lru.Cache[string, response]
+}
+
+// newShardedLRU builds a striped cache of total capacity max across the
+// given power-of-two shard count; max <= 0 disables caching entirely.
+func newShardedLRU(max, shards int) *shardedLRU {
+	if max <= 0 || shards < 1 {
+		shards = 1
+	}
+	s := &shardedLRU{shards: make([]*lru.Cache[string, response], shards)}
+	base, rem := 0, 0
+	if max > 0 {
+		base, rem = max/shards, max%shards
+	}
+	for i := range s.shards {
+		bound := base
+		if i < rem {
+			bound++
+		}
+		s.shards[i] = lru.New[string, response](bound)
+	}
+	return s
+}
+
+// Get returns the cached response from the key's shard.
+func (s *shardedLRU) Get(key string) (response, bool) {
+	return s.shards[shardIndex(key, len(s.shards))].Get(key)
+}
+
+// Put stores the response in the key's shard.
+func (s *shardedLRU) Put(key string, resp response) {
+	s.shards[shardIndex(key, len(s.shards))].Put(key, resp)
+}
+
+// Len returns the entry count summed over all shards.
+func (s *shardedLRU) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
 }

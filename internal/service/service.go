@@ -6,6 +6,9 @@
 //	POST /v1/evaluate  partition + simulate one training step
 //	POST /v1/compare   all four strategies, with Fig6/7 normalizations
 //	POST /v1/explore   parallelism-space sweep, streamed as NDJSON
+//	POST /v1/batch     many plan/evaluate/compare items in one request
+//	POST /v1/jobs      run an explore-class sweep asynchronously
+//	GET  /v1/jobs/{id} job progress; /result replays the finished sweep
 //
 // plus GET /healthz (liveness) and GET /statsz (per-endpoint metrics).
 // Requests name either a zoo network ("zoo") or carry a full JSON
@@ -22,7 +25,12 @@
 // completed responses live in a bounded LRU keyed by that hash, so a
 // response is rendered once and replayed byte-for-byte — the evaluation
 // path is deterministic, which makes byte-identical replay exact, not
-// approximate.
+// approximate. Both the response cache and the singleflight table are
+// striped into independently locked shards keyed by the request hash,
+// so the hot replay path scales with cores instead of serializing on
+// one global mutex; non-base-config requests share bounded,
+// config-keyed experiments.Sessions instead of rebuilding one per
+// request.
 package service
 
 import (
@@ -41,6 +49,7 @@ import (
 
 	hypar "repro"
 	"repro/internal/experiments"
+	"repro/internal/lru"
 	"repro/internal/nn"
 	"repro/internal/partition"
 	"repro/internal/runner"
@@ -58,6 +67,11 @@ const (
 	// DefaultCacheEntries is the result-cache bound when Options leaves
 	// CacheEntries zero.
 	DefaultCacheEntries = 256
+	// DefaultSessionEntries is the non-base-config session-cache bound
+	// when Options leaves SessionEntries zero.
+	DefaultSessionEntries = 32
+	// DefaultModelEntries bounds the decoded-model intern cache.
+	DefaultModelEntries = 1024
 )
 
 // Options configures a Server.
@@ -74,6 +88,14 @@ type Options struct {
 	// CacheEntries bounds the response LRU (0 = DefaultCacheEntries,
 	// negative = caching disabled).
 	CacheEntries int
+	// SessionEntries bounds the config-keyed cache of
+	// experiments.Sessions serving non-base-config requests
+	// (0 = DefaultSessionEntries, negative = no reuse: a fresh session
+	// per request, the pre-cache behavior).
+	SessionEntries int
+	// JobEntries bounds the async job table (0 = DefaultJobEntries,
+	// negative = the /v1/jobs endpoints are disabled).
+	JobEntries int
 	// OnCompute, when set, is invoked once per actual evaluation — after
 	// cache and coalescing, not once per request. Tests hook it to prove
 	// N identical concurrent requests evaluate exactly once.
@@ -130,9 +152,15 @@ type Server struct {
 	// amortized state still gets reused instead of rebuilt.
 	evaluators sync.Pool
 
-	cache     *lruCache
-	flight    flightGroup
+	// sessions reuses experiments.Sessions across non-base-config
+	// requests, bounded and keyed by canonical config; the base config
+	// keeps its dedicated session above.
+	sessions *experiments.SessionCache
+
+	cache     *shardedLRU
+	flight    shardedFlight
 	models    *modelCache
+	jobs      *jobTable
 	onCompute func(endpoint, key string)
 
 	mux     *http.ServeMux
@@ -160,12 +188,22 @@ func New(opts Options) (*Server, error) {
 	if entries == 0 {
 		entries = DefaultCacheEntries
 	}
+	sessEntries := opts.SessionEntries
+	if sessEntries == 0 {
+		sessEntries = DefaultSessionEntries
+	}
+	jobEntries := opts.JobEntries
+	if jobEntries == 0 {
+		jobEntries = DefaultJobEntries
+	}
 	s := &Server{
 		baseRaw:   raw,
 		base:      cfg,
 		pool:      pool,
 		session:   experiments.NewSessionWithPool(cfg, pool),
-		cache:     newLRU(entries),
+		sessions:  experiments.NewSessionCache(sessEntries, pool),
+		cache:     newShardedLRU(entries, lruShardsFor(entries)),
+		jobs:      newJobTable(jobEntries),
 		onCompute: opts.OnCompute,
 		mux:       http.NewServeMux(),
 		start:     time.Now(),
@@ -185,14 +223,22 @@ func New(opts Options) (*Server, error) {
 		IdleTimeout:       time.Minute,
 	}
 	s.evaluators.New = func() any { return hypar.NewEvaluator() }
-	s.models = &modelCache{max: 1024, m: make(map[string]*nn.Model)}
-	for _, ep := range []string{"plan", "evaluate", "compare", "explore", "healthz", "statsz"} {
+	s.models = newModelCache(DefaultModelEntries)
+	for _, ep := range []string{"plan", "evaluate", "compare", "explore", "batch", "jobs", "healthz", "statsz"} {
 		s.metrics[ep] = &endpointStats{}
 	}
 	s.mux.HandleFunc("/v1/plan", s.post("plan", s.handlePlan))
 	s.mux.HandleFunc("/v1/evaluate", s.post("evaluate", s.handleEvaluate))
 	s.mux.HandleFunc("/v1/compare", s.post("compare", s.handleCompare))
 	s.mux.HandleFunc("/v1/explore", s.post("explore", s.handleExplore))
+	s.mux.HandleFunc("/v1/batch", s.post("batch", s.handleBatch))
+	if jobEntries > 0 {
+		s.mux.HandleFunc("POST /v1/jobs", s.post("jobs", s.handleJobSubmit))
+		s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+		s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+		s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+		s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
 	return s, nil
@@ -223,9 +269,18 @@ func (s *Server) Serve(l net.Listener) error {
 	return err
 }
 
-// Shutdown drains in-flight requests and stops the listener.
+// Shutdown stops the listener, drains in-flight requests — including
+// NDJSON /v1/explore streams, which run entirely inside their handler
+// and therefore finish before Shutdown returns — and then drains the
+// background job table: running jobs get until ctx's deadline to
+// finish, after which they are canceled. New connections are refused
+// from the moment Shutdown is called.
 func (s *Server) Shutdown(ctx context.Context) error {
-	return s.hs.Shutdown(ctx)
+	err := s.hs.Shutdown(ctx)
+	if jerr := s.jobs.drain(ctx); err == nil {
+		err = jerr
+	}
+	return err
 }
 
 // pinnedZoo looks a zoo model up among the session's pinned instances
@@ -241,12 +296,15 @@ func (s *Server) pinnedZoo(name string) *nn.Model {
 
 // sessionFor returns the shared session when the request runs at the
 // server's base config (so zoo pinning and the cached zoo comparison
-// are reused) and a fresh session on the same pool otherwise.
+// are reused) and a bounded, config-keyed cached session otherwise —
+// repeated requests at the same non-base config reuse one session's
+// pinned zoo and cached comparisons instead of rebuilding them per
+// request.
 func (s *Server) sessionFor(cfg hypar.Config) *experiments.Session {
 	if cfg == s.base {
 		return s.session
 	}
-	return experiments.NewSessionWithPool(cfg, s.pool)
+	return s.sessions.Get(cfg)
 }
 
 // ---------------------------------------------------------------------------
@@ -256,28 +314,30 @@ func (s *Server) sessionFor(cfg hypar.Config) *experiments.Session {
 // cache in internal/nn memoizes per *Model pointer, so handing repeated
 // identical submissions the same instance is what makes their shape
 // inference hit; the bound keeps hostile all-unique traffic from
-// holding thousands of dead models (past it, flush and rebuild, the
-// same idiom nn's shape cache uses).
+// holding thousands of dead models. Eviction is LRU (one instance of
+// the shared internal/lru cache): earlier this cache flushed the whole
+// map when full, so a flood of unique hostile models would evict the
+// hot set it exists to keep — now hostile traffic only churns the cold
+// tail while interned hot models survive.
 type modelCache struct {
-	mu  sync.Mutex
-	max int
-	m   map[string]*nn.Model
+	c *lru.Cache[string, *nn.Model]
+}
+
+// newModelCache builds an intern cache bounded to max models.
+func newModelCache(max int) *modelCache {
+	return &modelCache{c: lru.New[string, *nn.Model](max)}
 }
 
 // intern returns the cached instance for the canonical bytes, storing m
-// as the new canonical instance on a miss.
+// as the new canonical instance on a miss and evicting the least
+// recently used models beyond the bound.
 func (c *modelCache) intern(key string, m *nn.Model) *nn.Model {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if got, ok := c.m[key]; ok {
-		return got
-	}
-	if len(c.m) >= c.max {
-		c.m = make(map[string]*nn.Model)
-	}
-	c.m[key] = m
-	return m
+	got, _ := c.c.GetOrAdd(key, func() *nn.Model { return m })
+	return got
 }
+
+// len returns the current entry count.
+func (c *modelCache) len() int { return c.c.Len() }
 
 // freeVarJSON is the wire form of one exploration free variable.
 type freeVarJSON struct {
@@ -330,7 +390,13 @@ func (s *Server) parseRequest(r *http.Request, wantStrategy, wantFree bool) (*pa
 	if err := dec.Decode(&req); err != nil {
 		return nil, badRequest(fmt.Errorf("%w: body: %v", ErrService, err))
 	}
+	return s.resolveRequest(req, wantStrategy, wantFree)
+}
 
+// resolveRequest resolves and canonicalizes an already-decoded request
+// envelope — the shared tail of parseRequest and the per-item parsing
+// of /v1/batch.
+func (s *Server) resolveRequest(req request, wantStrategy, wantFree bool) (*parsed, error) {
 	p := &parsed{strategy: hypar.HyPar}
 	switch {
 	case req.Zoo != "" && req.Model != nil:
@@ -593,16 +659,27 @@ func writeResponse(w http.ResponseWriter, resp response) {
 	_, _ = w.Write(resp.body)
 }
 
-// serveCached runs the cache → singleflight → compute pipeline for a
-// fully-rendered JSON response and writes it.
-func (s *Server) serveCached(endpoint, key string, w http.ResponseWriter, compute func() (response, error)) error {
+// resolve runs the cache → singleflight → compute pipeline for one
+// request hash and returns the rendered response. Every consumer of a
+// key — single-request handlers, batch items, async jobs — funnels
+// through here, which is what makes them share one cache entry and one
+// in-flight computation.
+func (s *Server) resolve(endpoint, key string, compute func() (response, error)) (response, error) {
+	return s.resolveCtx(nil, endpoint, key, compute)
+}
+
+// resolveCtx is resolve with a cancelable follower wait: a caller
+// whose ctx is done stops waiting on another consumer's computation
+// and gets ctx's error, without canceling the shared work. The leader
+// ignores ctx (cancel inside compute if the computation itself should
+// stop). A nil ctx waits indefinitely.
+func (s *Server) resolveCtx(ctx context.Context, endpoint, key string, compute func() (response, error)) (response, error) {
 	m := s.metrics[endpoint]
 	if resp, ok := s.cache.Get(key); ok {
 		m.cacheHits.Add(1)
-		writeResponse(w, resp)
-		return nil
+		return resp, nil
 	}
-	resp, err, leader := s.flight.Do(key, func() (response, error) {
+	resp, err, leader := s.flight.DoCtx(ctx, key, func() (response, error) {
 		// Double-check: a racing leader may have populated the cache
 		// between this request's miss and its turn in the flight. The
 		// re-check makes "identical requests evaluate once" exact, not
@@ -624,6 +701,29 @@ func (s *Server) serveCached(endpoint, key string, w http.ResponseWriter, comput
 	if !leader {
 		m.coalesced.Add(1)
 	}
+	return resp, err
+}
+
+// resolveRetry is resolveCtx plus the canceled-coalesced-leader retry
+// policy, shared by every consumer that can coalesce onto an async
+// job's computation: a context.Canceled failure that is NOT this
+// caller's own cancellation (its ctx is still live, or nil) means the
+// flight's leader was a since-canceled job — the key is free again, so
+// retry, typically becoming the new leader. The bound only keeps an
+// adversarial stream of canceled-job leaders from pinning the caller.
+func (s *Server) resolveRetry(ctx context.Context, endpoint, key string, compute func() (response, error)) (response, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := s.resolveCtx(ctx, endpoint, key, compute)
+		ownCancel := ctx != nil && ctx.Err() != nil
+		if err == nil || ownCancel || !errors.Is(err, context.Canceled) || attempt >= 8 {
+			return resp, err
+		}
+	}
+}
+
+// serveCached resolves the key and writes the rendered response.
+func (s *Server) serveCached(endpoint, key string, w http.ResponseWriter, compute func() (response, error)) error {
+	resp, err := s.resolve(endpoint, key, compute)
 	if err != nil {
 		return err
 	}
@@ -662,16 +762,21 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	return s.serveCached("plan", p.key("plan"), w, func() (response, error) {
-		plan, err := hypar.NewPlan(p.model, p.strategy, p.cfg)
-		if err != nil {
-			return response{}, badRequest(err)
-		}
-		return jsonResponse(planResponse{
-			Model:    p.model.Name,
-			Strategy: p.strategy,
-			Config:   p.cfg,
-			Plan:     planToJSON(plan, p.model, p.cfg),
-		})
+		return s.computePlan(p)
+	})
+}
+
+// computePlan renders the /v1/plan response for a resolved request.
+func (s *Server) computePlan(p *parsed) (response, error) {
+	plan, err := hypar.NewPlan(p.model, p.strategy, p.cfg)
+	if err != nil {
+		return response{}, badRequest(err)
+	}
+	return jsonResponse(planResponse{
+		Model:    p.model.Name,
+		Strategy: p.strategy,
+		Config:   p.cfg,
+		Plan:     planToJSON(plan, p.model, p.cfg),
 	})
 }
 
@@ -682,19 +787,25 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	return s.serveCached("evaluate", p.key("evaluate"), w, func() (response, error) {
-		res, err := s.runShared(p.model, p.strategy, p.cfg)
-		if err != nil {
-			return response{}, badRequest(err)
-		}
-		return jsonResponse(evaluateResponse{
-			planResponse: planResponse{
-				Model:    p.model.Name,
-				Strategy: p.strategy,
-				Config:   p.cfg,
-				Plan:     planToJSON(res.Plan, p.model, p.cfg),
-			},
-			Stats: statsToJSON(res.Stats),
-		})
+		return s.computeEvaluate(p)
+	})
+}
+
+// computeEvaluate renders the /v1/evaluate response for a resolved
+// request.
+func (s *Server) computeEvaluate(p *parsed) (response, error) {
+	res, err := s.runShared(p.model, p.strategy, p.cfg)
+	if err != nil {
+		return response{}, badRequest(err)
+	}
+	return jsonResponse(evaluateResponse{
+		planResponse: planResponse{
+			Model:    p.model.Name,
+			Strategy: p.strategy,
+			Config:   p.cfg,
+			Plan:     planToJSON(res.Plan, p.model, p.cfg),
+		},
+		Stats: statsToJSON(res.Stats),
 	})
 }
 
@@ -705,41 +816,47 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	return s.serveCached("compare", p.key("compare"), w, func() (response, error) {
-		resp := compareResponse{
-			Model:   p.model.Name,
-			Config:  p.cfg,
-			Results: make(map[string]strategyResult, len(hypar.Strategies)),
-			Gains:   make(map[string]gainsJSON, len(hypar.Strategies)),
-		}
-		// The four strategies are independent; fan them out on the
-		// server pool (each worker borrowing a pooled evaluator).
-		results, err := runner.Map(s.pool, hypar.Strategies,
-			func(_ int, st hypar.Strategy) (*hypar.Result, error) {
-				res, err := s.runShared(p.model, st, p.cfg)
-				if err != nil {
-					return nil, badRequest(fmt.Errorf("strategy %v: %w", st, err))
-				}
-				return res, nil
-			})
-		if err != nil {
-			return response{}, err
-		}
-		cmp := &hypar.Comparison{Model: p.model.Name, Results: make(map[hypar.Strategy]*hypar.Result, len(hypar.Strategies))}
-		for i, st := range hypar.Strategies {
-			cmp.Results[st] = results[i]
-			resp.Results[st.String()] = strategyResult{
-				Plan:  planToJSON(results[i].Plan, p.model, p.cfg),
-				Stats: statsToJSON(results[i].Stats),
-			}
-		}
-		for _, st := range hypar.Strategies {
-			resp.Gains[st.String()] = gainsJSON{
-				Performance:      cmp.PerformanceGain(st),
-				EnergyEfficiency: cmp.EnergyEfficiency(st),
-			}
-		}
-		return jsonResponse(resp)
+		return s.computeCompare(p)
 	})
+}
+
+// computeCompare renders the /v1/compare response for a resolved
+// request.
+func (s *Server) computeCompare(p *parsed) (response, error) {
+	resp := compareResponse{
+		Model:   p.model.Name,
+		Config:  p.cfg,
+		Results: make(map[string]strategyResult, len(hypar.Strategies)),
+		Gains:   make(map[string]gainsJSON, len(hypar.Strategies)),
+	}
+	// The four strategies are independent; fan them out on the
+	// server pool (each worker borrowing a pooled evaluator).
+	results, err := runner.Map(s.pool, hypar.Strategies,
+		func(_ int, st hypar.Strategy) (*hypar.Result, error) {
+			res, err := s.runShared(p.model, st, p.cfg)
+			if err != nil {
+				return nil, badRequest(fmt.Errorf("strategy %v: %w", st, err))
+			}
+			return res, nil
+		})
+	if err != nil {
+		return response{}, err
+	}
+	cmp := &hypar.Comparison{Model: p.model.Name, Results: make(map[hypar.Strategy]*hypar.Result, len(hypar.Strategies))}
+	for i, st := range hypar.Strategies {
+		cmp.Results[st] = results[i]
+		resp.Results[st.String()] = strategyResult{
+			Plan:  planToJSON(results[i].Plan, p.model, p.cfg),
+			Stats: statsToJSON(results[i].Stats),
+		}
+	}
+	for _, st := range hypar.Strategies {
+		resp.Gains[st.String()] = gainsJSON{
+			Performance:      cmp.PerformanceGain(st),
+			EnergyEfficiency: cmp.EnergyEfficiency(st),
+		}
+	}
+	return jsonResponse(resp)
 }
 
 // defaultFree sweeps every layer's top-level (H1) parallelism, capped
@@ -756,6 +873,70 @@ func defaultFree(m *nn.Model) []partition.FreeVar {
 	return free
 }
 
+// finishExploreParse applies the explore-specific defaults and checks
+// to a resolved request — shared by /v1/explore and /v1/jobs.
+func finishExploreParse(p *parsed) error {
+	if p.free == nil {
+		p.free = defaultFree(p.model)
+	}
+	if p.cfg.Levels == 0 {
+		return badRequest(fmt.Errorf("%w: explore needs levels >= 1", ErrService))
+	}
+	return nil
+}
+
+// exploreBody computes the full NDJSON sweep body for a resolved
+// explore request: a header line, one line per sweep point in code
+// order, and a summary line. tap (if non-nil) receives each rendered
+// line as it is produced — the /v1/explore handler streams them to its
+// client, async jobs count them as progress. ctx (if non-nil) cancels
+// the sweep between lines; a nil ctx never cancels, which is what the
+// HTTP leader wants (its coalesced followers still need the result
+// even if the leader's own client disconnects).
+func (s *Server) exploreBody(ctx context.Context, p *parsed, tap func(line []byte)) (response, error) {
+	var buf strings.Builder
+	line := func(v any) error {
+		if ctx != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		buf.Write(b)
+		if tap != nil {
+			tap(b)
+		}
+		return nil
+	}
+
+	if err := line(exploreHeaderJSON{
+		Type: "header", Model: p.model.Name, Config: p.cfg, Points: 1 << uint(len(p.free)),
+	}); err != nil {
+		return response{}, err
+	}
+	var peak, hp explorePointJSON
+	err := s.sessionFor(p.cfg).ExploreStream(p.model, p.free, nil, func(ep experiments.ExplorePoint) error {
+		pj := explorePointJSON{Type: "point", Code: ep.Code, Labels: ep.Labels, Gain: ep.Gain, IsHyPar: ep.IsHyPar}
+		if pj.Gain > peak.Gain {
+			peak = pj
+		}
+		if pj.IsHyPar {
+			hp = pj
+		}
+		return line(pj)
+	})
+	if err != nil {
+		return response{}, err
+	}
+	peak.Type, hp.Type = "point", "point"
+	if err := line(exploreSummaryJSON{Type: "summary", Peak: peak, HyPar: hp}); err != nil {
+		return response{}, err
+	}
+	return response{contentType: "application/x-ndjson", body: []byte(buf.String())}, nil
+}
+
 // handleExplore answers POST /v1/explore with an NDJSON stream: a
 // header line, one line per sweep point in code order, and a summary
 // line. The stream begins before the sweep finishes (runner.Stream
@@ -766,88 +947,36 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	if p.free == nil {
-		p.free = defaultFree(p.model)
-	}
-	if p.cfg.Levels == 0 {
-		return badRequest(fmt.Errorf("%w: explore needs levels >= 1", ErrService))
+	if err := finishExploreParse(p); err != nil {
+		return err
 	}
 	key := p.key("explore")
 	m := s.metrics["explore"]
-	if resp, ok := s.cache.Get(key); ok {
-		m.cacheHits.Add(1)
-		writeResponse(w, resp)
-		return nil
-	}
-
 	var streamed bool
-	resp, err, leader := s.flight.Do(key, func() (response, error) {
-		if resp, ok := s.cache.Get(key); ok {
-			m.cacheHits.Add(1)
-			return resp, nil
-		}
-		m.computes.Add(1)
-		if s.onCompute != nil {
-			s.onCompute("explore", key)
-		}
-		// The leader streams lines to its own client as they are
-		// computed and tees them into buf for the cache and followers.
-		// A client write failure (leader disconnected mid-stream) must
-		// not abort the sweep: followers coalesced onto this flight
-		// still need the result, so the computation keeps filling the
-		// tee buffer and only the doomed client writes stop.
-		var buf strings.Builder
+	resp, err := s.resolveRetry(nil, "explore", key, func() (response, error) {
+		// This request is the flight leader: it streams lines to its
+		// own client as they are computed while exploreBody tees them
+		// into the body buffer for the cache and followers. A client
+		// write failure (leader disconnected mid-stream) must not
+		// abort the sweep: followers coalesced onto this flight still
+		// need the result, so the computation keeps filling the body
+		// (nil context — never cancels) and only the doomed client
+		// writes stop.
 		var clientGone bool
 		flusher, _ := w.(http.Flusher)
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		streamed = true
-		line := func(v any) error {
-			b, err := json.Marshal(v)
-			if err != nil {
-				return err
+		return s.exploreBody(nil, p, func(b []byte) {
+			if clientGone {
+				return
 			}
-			b = append(b, '\n')
-			buf.Write(b)
-			if !clientGone {
-				if _, err := w.Write(b); err != nil {
-					clientGone = true
-				} else if flusher != nil {
-					flusher.Flush()
-				}
+			if _, err := w.Write(b); err != nil {
+				clientGone = true
+			} else if flusher != nil {
+				flusher.Flush()
 			}
-			return nil
-		}
-
-		if err := line(exploreHeaderJSON{
-			Type: "header", Model: p.model.Name, Config: p.cfg, Points: 1 << uint(len(p.free)),
-		}); err != nil {
-			return response{}, err
-		}
-		var peak, hp explorePointJSON
-		err := s.sessionFor(p.cfg).ExploreStream(p.model, p.free, nil, func(ep experiments.ExplorePoint) error {
-			pj := explorePointJSON{Type: "point", Code: ep.Code, Labels: ep.Labels, Gain: ep.Gain, IsHyPar: ep.IsHyPar}
-			if pj.Gain > peak.Gain {
-				peak = pj
-			}
-			if pj.IsHyPar {
-				hp = pj
-			}
-			return line(pj)
 		})
-		if err != nil {
-			return response{}, err
-		}
-		peak.Type, hp.Type = "point", "point"
-		if err := line(exploreSummaryJSON{Type: "summary", Peak: peak, HyPar: hp}); err != nil {
-			return response{}, err
-		}
-		resp := response{contentType: "application/x-ndjson", body: []byte(buf.String())}
-		s.cache.Put(key, resp)
-		return resp, nil
 	})
-	if !leader {
-		m.coalesced.Add(1)
-	}
 	if err != nil {
 		if streamed {
 			// Headers are already out; the broken stream is the error
@@ -859,8 +988,8 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	if !streamed {
-		// Followers, and a leader whose flight double-check hit the
-		// cache, replay the rendered body.
+		// Followers, retried followers, and cache hits replay the
+		// rendered body.
 		writeResponse(w, resp)
 	}
 	return nil
@@ -876,21 +1005,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// jobsSnapshot is the /statsz view of the job table.
+type jobsSnapshot struct {
+	Tracked int `json:"tracked"`
+	Active  int `json:"active"`
+}
+
 // statszResponse is the /statsz body.
 type statszResponse struct {
 	UptimeSeconds float64                  `json:"uptimeSeconds"`
 	PoolWidth     int                      `json:"poolWidth"`
 	CacheEntries  int                      `json:"cacheEntries"`
+	CacheShards   int                      `json:"cacheShards"`
+	Sessions      int                      `json:"sessions"`
+	Jobs          jobsSnapshot             `json:"jobs"`
 	Endpoints     map[string]statsSnapshot `json:"endpoints"`
 }
 
 // handleStatsz answers GET /statsz.
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	s.metrics["statsz"].requests.Add(1)
+	tracked, active := s.jobs.counts()
 	resp := statszResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		PoolWidth:     s.pool.Width(),
 		CacheEntries:  s.cache.Len(),
+		CacheShards:   len(s.cache.shards),
+		Sessions:      s.sessions.Len(),
+		Jobs:          jobsSnapshot{Tracked: tracked, Active: active},
 		Endpoints:     make(map[string]statsSnapshot, len(s.metrics)),
 	}
 	for name, m := range s.metrics {

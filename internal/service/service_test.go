@@ -495,9 +495,11 @@ func TestFlightPanicReleasesKey(t *testing.T) {
 	}
 }
 
-// TestLRUBound proves the cache evicts beyond its bound.
+// TestLRUBound proves the response cache evicts beyond its bound (the
+// single-shard configuration — exact global LRU; the recency contract
+// itself is pinned in internal/lru).
 func TestLRUBound(t *testing.T) {
-	c := newLRU(2)
+	c := newShardedLRU(2, 1)
 	c.Put("a", response{body: []byte("a")})
 	c.Put("b", response{body: []byte("b")})
 	if _, ok := c.Get("a"); !ok {
@@ -515,7 +517,7 @@ func TestLRUBound(t *testing.T) {
 	}
 
 	// Disabled cache never stores.
-	d := newLRU(-1)
+	d := newShardedLRU(-1, 1)
 	d.Put("x", response{})
 	if _, ok := d.Get("x"); ok {
 		t.Error("disabled cache stored an entry")

@@ -1,0 +1,283 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startServer serves a new Server on an ephemeral port and returns its
+// base URL plus the Serve error channel.
+func startServer(t *testing.T, opts Options) (*Server, string, chan error) {
+	t.Helper()
+	srv, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	return srv, "http://" + ln.Addr().String(), serveErr
+}
+
+// TestShutdownDrainsExploreStream is the graceful-drain regression
+// test: an NDJSON /v1/explore stream opened before Shutdown completes
+// in full — every point plus the summary — while a request arriving
+// after Shutdown began is refused at the connection level.
+func TestShutdownDrainsExploreStream(t *testing.T) {
+	srv, base, serveErr := startServer(t, Options{})
+
+	// Open the stream and read the header line, so the request is
+	// provably in flight before Shutdown is called. 2^8 = 256 VGG-A
+	// points keep the sweep busy while the drain proceeds.
+	resp, err := http.Post(base+"/v1/explore", "application/json",
+		strings.NewReader(`{"zoo":"VGG-A"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		t.Fatalf("no header line: %v", sc.Err())
+	}
+	var header exploreHeaderJSON
+	if err := json.Unmarshal(sc.Bytes(), &header); err != nil || header.Type != "header" {
+		t.Fatalf("bad header %q: %v", sc.Bytes(), err)
+	}
+
+	shutErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		shutErr <- srv.Shutdown(ctx)
+	}()
+
+	// New connections must be refused once the listener closes. Poll:
+	// Shutdown closes it at entry, but the goroutine may not have run
+	// yet.
+	refused := false
+	for i := 0; i < 200; i++ {
+		r2, err := http.Post(base+"/v1/plan", "application/json",
+			strings.NewReader(`{"zoo":"SFC"}`))
+		if err != nil {
+			refused = true
+			break
+		}
+		r2.Body.Close()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !refused {
+		t.Error("new request accepted after Shutdown began")
+	}
+
+	// The in-flight stream still completes in full.
+	points := 0
+	sawSummary := false
+	for sc.Scan() {
+		var typ struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &typ); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Bytes(), err)
+		}
+		switch typ.Type {
+		case "point":
+			points++
+		case "summary":
+			sawSummary = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream broken during drain: %v", err)
+	}
+	if points != header.Points || !sawSummary {
+		t.Errorf("drained stream truncated: %d/%d points, summary=%v", points, header.Points, sawSummary)
+	}
+
+	if err := <-shutErr; err != nil {
+		t.Errorf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Errorf("Serve: %v", err)
+	}
+}
+
+// TestShutdownDrainsJobs proves Shutdown waits for running async jobs:
+// a job submitted before Shutdown finishes (state done, result
+// available) rather than being killed with the daemon.
+func TestShutdownDrainsJobs(t *testing.T) {
+	srv, base, serveErr := startServer(t, Options{})
+
+	code, b := postJSON(t, base+"/v1/jobs", `{"zoo":"VGG-A"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", code, b)
+	}
+	var st jobStatusJSON
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Errorf("Serve: %v", err)
+	}
+
+	// The job ran to completion during the drain.
+	j, ok := srv.jobs.get(st.ID)
+	if !ok {
+		t.Fatal("job vanished during drain")
+	}
+	fin := j.status()
+	if fin.Status != jobStateDone || fin.Done != fin.Points {
+		t.Errorf("job after drain: %+v, want done with all points", fin)
+	}
+
+	// New submissions are refused while/after draining.
+	if _, err := srv.jobs.add("x", "k", 1); err == nil {
+		t.Error("job table accepted a submission after drain")
+	}
+}
+
+// TestShutdownDeadlineCancelsJobs proves a drain that overruns its
+// context deadline cancels outstanding jobs instead of hanging.
+func TestShutdownDeadlineCancelsJobs(t *testing.T) {
+	gate := make(chan struct{})
+	released := false
+	defer func() {
+		if !released {
+			close(gate)
+		}
+	}()
+	srv, base, serveErr := startServer(t, Options{
+		OnCompute: func(string, string) { <-gate },
+	})
+
+	code, b := postJSON(t, base+"/v1/jobs", `{"zoo":"VGG-A"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", code, b)
+	}
+	var st jobStatusJSON
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	// The gate never opens before the deadline: drain must cancel the
+	// job and report the deadline, not hang.
+	shutErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+		defer cancel()
+		shutErr <- srv.Shutdown(ctx)
+	}()
+	// Release the gate only after the deadline fires, so cancellation
+	// (not completion) resolves the job.
+	time.Sleep(400 * time.Millisecond)
+	close(gate)
+	released = true
+
+	if err := <-shutErr; err == nil {
+		t.Error("Shutdown reported success despite overrunning its deadline")
+	}
+	if err := <-serveErr; err != nil {
+		t.Errorf("Serve: %v", err)
+	}
+	j, ok := srv.jobs.get(st.ID)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	if got := j.status().Status; got != jobStateCanceled {
+		t.Errorf("job after deadline drain: %q, want canceled", got)
+	}
+}
+
+// TestShutdownDrainUnblocksFollowerJob is the follower-drain
+// regression test: a canceled job that is a singleflight follower of a
+// still-running synchronous /v1/explore leader must abandon its wait
+// promptly — Shutdown's job drain returns at its deadline instead of
+// blocking until the leader's whole sweep finishes.
+func TestShutdownDrainUnblocksFollowerJob(t *testing.T) {
+	gate := make(chan struct{})
+	released := false
+	defer func() {
+		if !released {
+			close(gate)
+		}
+	}()
+	srv, base, serveErr := startServer(t, Options{
+		OnCompute: func(string, string) { <-gate },
+	})
+
+	// The HTTP explore becomes the flight leader and blocks at the gate
+	// (standing in for a minutes-long sweep).
+	exploreDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/explore", "application/json",
+			strings.NewReader(`{"zoo":"VGG-A"}`))
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		exploreDone <- err
+	}()
+	for i := 0; i < 400 && srv.metrics["explore"].computes.Load() == 0; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.metrics["explore"].computes.Load() == 0 {
+		t.Fatal("explore leader never started computing")
+	}
+
+	// The job coalesces onto the leader's flight as a follower.
+	code, b := postJSON(t, base+"/v1/jobs", `{"zoo":"VGG-A"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", code, b)
+	}
+	var st jobStatusJSON
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shutdown with a short deadline: the drain must cancel the
+	// follower job and return near the deadline — the leader's sweep
+	// (still gated) must not hold it hostage.
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	err := srv.Shutdown(ctx)
+	cancel()
+	if err == nil {
+		t.Error("Shutdown reported success despite the gated leader")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("Shutdown blocked %v on a follower job (drain not cancelable)", elapsed)
+	}
+	j, ok := srv.jobs.get(st.ID)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	if got := j.status().Status; got != jobStateCanceled {
+		t.Errorf("follower job after deadline drain: %q, want canceled", got)
+	}
+
+	// Release the leader so the handler, listener and test shut down.
+	close(gate)
+	released = true
+	if err := <-exploreDone; err != nil {
+		t.Errorf("explore leader: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Errorf("Serve: %v", err)
+	}
+}

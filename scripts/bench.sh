@@ -4,14 +4,17 @@
 # Usage:  scripts/bench.sh [N]
 #
 # Emits BENCH_N.json (default N=1) at the repository root: ns/op for
-# every benchmark, plus hypard service throughput (hot-cache and mixed
-# workloads driven by scripts/loadgen), plus host metadata, so
+# every benchmark, plus hypard service throughput (hot-cache, mixed and
+# batched workloads driven by scripts/loadgen), plus host metadata, so
 # successive PRs can be compared point by point. Key pairs to watch:
 #
 #   BenchmarkFig6Performance    vs BenchmarkFig6PerformanceSerial
 #   BenchmarkFig9Exploration    vs BenchmarkFig9ExplorationSerial
 #   BenchmarkSimulateStep       vs BenchmarkSimulateStepReusedEngine
 #   service.hot.rps             vs service.mixed.rps (cache leverage)
+#   service.batch_*.itemsPerSec vs the single-request rps above
+#                               (amortized round trips + intra-batch
+#                               dedupe: the /v1/batch leverage)
 #
 # BENCHTIME overrides the per-benchmark iteration count (default 10x;
 # use a duration like 1s for lower variance on quiet machines).
@@ -43,6 +46,8 @@ END {
 
 service_hot="null"
 service_mixed="null"
+service_batch_hot="null"
+service_batch_mixed="null"
 daemon_pid=""
 if [ "${SKIP_SERVICE:-0}" != "1" ]; then
 	tmpdir="$(mktemp -d)"
@@ -59,6 +64,12 @@ if [ "${SKIP_SERVICE:-0}" != "1" ]; then
 	echo "service throughput (mixed workload):"
 	service_mixed="$("$tmpdir/loadgen" -addr "127.0.0.1:${port}" -mode mixed -requests 300 -concurrency 8)"
 	echo "$service_mixed"
+	echo "service throughput (batched, hot items: 300 x 16-item /v1/batch):"
+	service_batch_hot="$("$tmpdir/loadgen" -addr "127.0.0.1:${port}" -mode hot -batch 16 -requests 300 -concurrency 8)"
+	echo "$service_batch_hot"
+	echo "service throughput (batched, mixed items: 300 x 16-item /v1/batch):"
+	service_batch_mixed="$("$tmpdir/loadgen" -addr "127.0.0.1:${port}" -mode mixed -batch 16 -requests 300 -concurrency 8)"
+	echo "$service_batch_mixed"
 
 	kill "$daemon_pid" 2>/dev/null || true
 	wait "$daemon_pid" 2>/dev/null || true
@@ -67,7 +78,7 @@ fi
 
 {
 	printf '{\n'
-	printf '  "schema": "bench-v2",\n'
+	printf '  "schema": "bench-v3",\n'
 	printf '  "go": "%s",\n' "$(go env GOVERSION)"
 	printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
 	printf '  "benchtime": "%s",\n' "$benchtime"
@@ -76,7 +87,9 @@ fi
 	printf '  },\n'
 	printf '  "service": {\n'
 	printf '    "hot": %s,\n' "$service_hot"
-	printf '    "mixed": %s\n' "$service_mixed"
+	printf '    "mixed": %s,\n' "$service_mixed"
+	printf '    "batch_hot": %s,\n' "$service_batch_hot"
+	printf '    "batch_mixed": %s\n' "$service_batch_mixed"
 	printf '  }\n'
 	printf '}\n'
 } >"$out"

@@ -11,13 +11,20 @@
 //	             (exercises the evaluator itself; mostly cache misses
 //	             until the cycle wraps)
 //
+// -batch N wraps N of the mode's bodies into one /v1/batch request per
+// POST (the same global item sequence the single-request run would
+// issue), so `-requests R -batch N` pushes R×N items in R round trips —
+// the batch-vs-single comparison bench.sh records.
+//
 // Usage:
 //
 //	loadgen -addr 127.0.0.1:8080 -requests 200 -concurrency 8 -mode hot
 //	loadgen -addr 127.0.0.1:8080 -wait 10s -mode mixed
+//	loadgen -addr 127.0.0.1:8080 -mode mixed -batch 16 -requests 40
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -26,20 +33,27 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// result is the JSON report.
+// result is the JSON report. Items/ItemsPerSec count evaluation items:
+// for single-request runs they equal Requests/RPS; for -batch N runs
+// each request carries N items, so ItemsPerSec is the number to compare
+// against a single-request run's RPS.
 type result struct {
 	Mode        string  `json:"mode"`
 	Endpoint    string  `json:"endpoint"`
 	Requests    int     `json:"requests"`
+	BatchSize   int     `json:"batchSize,omitempty"`
+	Items       int     `json:"items"`
 	Concurrency int     `json:"concurrency"`
 	Errors      int64   `json:"errors"`
 	Seconds     float64 `json:"seconds"`
 	RPS         float64 `json:"rps"`
+	ItemsPerSec float64 `json:"itemsPerSec"`
 	P50Ms       float64 `json:"p50Ms"`
 	P90Ms       float64 `json:"p90Ms"`
 	P99Ms       float64 `json:"p99Ms"`
@@ -62,17 +76,36 @@ func body(mode string, i int) string {
 	return fmt.Sprintf(`{"zoo":%q,"strategy":%q,"config":{"batch":%d}}`, name, strat, batch)
 }
 
+// batchBody wraps size consecutive mode bodies, starting at global item
+// index first, into one /v1/batch request.
+func batchBody(mode string, first, size int) string {
+	var sb strings.Builder
+	sb.WriteString(`{"items":[`)
+	for k := 0; k < size; k++ {
+		if k > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(body(mode, first+k))
+	}
+	sb.WriteString(`]}`)
+	return sb.String()
+}
+
 func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:8080", "hypard host:port")
-		path    = flag.String("endpoint", "/v1/evaluate", "endpoint to hit")
+		path    = flag.String("endpoint", "/v1/evaluate", "endpoint to hit (ignored with -batch)")
 		n       = flag.Int("requests", 200, "total requests")
+		batch   = flag.Int("batch", 0, "items per request through /v1/batch (0 = single requests)")
 		conc    = flag.Int("concurrency", 8, "concurrent clients")
 		mode    = flag.String("mode", "hot", "hot | mixed")
 		wait    = flag.Duration("wait", 15*time.Second, "wait for /healthz before starting")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	)
 	flag.Parse()
+	if *batch > 0 {
+		*path = "/v1/batch"
+	}
 
 	base := "http://" + *addr
 	client := &http.Client{Timeout: *timeout}
@@ -98,16 +131,38 @@ func main() {
 				if i >= *n {
 					return
 				}
+				reqBody := body(*mode, i)
+				if *batch > 0 {
+					reqBody = batchBody(*mode, i*(*batch), *batch)
+				}
 				t0 := time.Now()
 				resp, err := client.Post(base+*path, "application/json",
-					bytes.NewReader([]byte(body(*mode, i))))
+					bytes.NewReader([]byte(reqBody)))
 				if err != nil {
 					errs.Add(1)
 					continue
 				}
-				_, _ = io.Copy(io.Discard, resp.Body)
+				// /v1/batch answers 200 with per-item failures as
+				// in-band {"error":...} NDJSON lines; a benchmark that
+				// discarded them would happily measure error-rendering
+				// throughput. Count any failed line as a failed request.
+				failedItems := false
+				if *batch > 0 {
+					sc := bufio.NewScanner(resp.Body)
+					sc.Buffer(make([]byte, 1<<20), 1<<20)
+					for sc.Scan() {
+						if bytes.HasPrefix(sc.Bytes(), []byte(`{"error":`)) {
+							failedItems = true
+						}
+					}
+					if sc.Err() != nil {
+						failedItems = true
+					}
+				} else {
+					_, _ = io.Copy(io.Discard, resp.Body)
+				}
 				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
+				if resp.StatusCode != http.StatusOK || failedItems {
 					errs.Add(1)
 					continue
 				}
@@ -129,14 +184,21 @@ func main() {
 		idx := int(p * float64(len(lats)-1))
 		return lats[idx]
 	}
+	perReq := 1
+	if *batch > 0 {
+		perReq = *batch
+	}
 	out := result{
 		Mode:        *mode,
 		Endpoint:    *path,
 		Requests:    *n,
+		BatchSize:   *batch,
+		Items:       *n * perReq,
 		Concurrency: *conc,
 		Errors:      errs.Load(),
 		Seconds:     elapsed,
 		RPS:         float64(len(lats)) / elapsed,
+		ItemsPerSec: float64(len(lats)*perReq) / elapsed,
 		P50Ms:       pct(0.50),
 		P90Ms:       pct(0.90),
 		P99Ms:       pct(0.99),
