@@ -56,11 +56,11 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("hypar", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
-		experiment = fs.String("experiment", "", "regenerate a paper artifact: fig5..fig13, platforms, ablations, all")
-		model      = fs.String("model", "", "zoo model to plan/simulate (e.g. VGG-A); see -list")
+		experiment = fs.String("experiment", "", "regenerate a paper artifact: fig5..fig13, platforms, branched, ablations, all")
+		model      = fs.String("model", "", "zoo or branched model to plan/simulate (e.g. VGG-A, SRES-8); see -list")
 		strategy   = fs.String("strategy", "hypar", "hypar | dp | mp | trick")
 		planOnly   = fs.Bool("plan", false, "print the partition without simulating")
-		list       = fs.Bool("list", false, "list zoo models")
+		list       = fs.Bool("list", false, "list zoo and branched (DAG) models")
 		listPlat   = fs.Bool("platforms", false, "list accelerator platforms")
 		csv        = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		batch      = fs.Int("batch", 256, "mini-batch size")
@@ -113,6 +113,14 @@ func run(args []string, w io.Writer) error {
 		for _, m := range hypar.Zoo() {
 			fmt.Fprintf(w, "%-10s %2d weighted layers, input %dx%dx%d\n",
 				m.Name, m.NumWeighted(), m.Input.H, m.Input.W, m.Input.C)
+		}
+		for _, m := range hypar.BranchedZoo() {
+			skips, err := m.SkipEdges()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-10s %2d weighted layers, input %dx%dx%d (DAG, %d skip edges)\n",
+				m.Name, m.NumWeighted(), m.Input.H, m.Input.W, m.Input.C, skips)
 		}
 		return nil
 	case *listPlat:
@@ -353,6 +361,7 @@ func runExperiments(which string, cfg hypar.Config, emit func(*report.Table) err
 		"fig12":     s.Fig12,
 		"fig13":     s.Fig13,
 		"platforms": s.PlatformTable,
+		"branched":  s.BranchedTable,
 	}
 	ablations := []run{
 		func() (*report.Table, error) { return s.AblationDepth(6, "VGG-A") },
@@ -373,7 +382,7 @@ func runExperiments(which string, cfg hypar.Config, emit func(*report.Table) err
 
 	switch which {
 	case "all":
-		for _, k := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "platforms"} {
+		for _, k := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "platforms", "branched"} {
 			if err := runOne(runners[k]); err != nil {
 				return fmt.Errorf("%s: %w", k, err)
 			}
@@ -394,7 +403,7 @@ func runExperiments(which string, cfg hypar.Config, emit func(*report.Table) err
 	default:
 		r, ok := runners[which]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (fig5..fig13, platforms, ablations, all)", which)
+			return fmt.Errorf("unknown experiment %q (fig5..fig13, platforms, branched, ablations, all)", which)
 		}
 		return runOne(r)
 	}

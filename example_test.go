@@ -101,3 +101,22 @@ func ExampleComparePlatforms() {
 	// hmc HyPar > DP: true
 	// tpu-systolic HyPar > DP: true
 }
+
+// ExampleBranchedZoo plans a branched (DAG) workload: a residual
+// network whose skip edges the graph partition search prices per edge.
+func ExampleBranchedZoo() {
+	m := hypar.BranchedZoo()[0] // SRES-8
+	plan, err := hypar.NewPlan(m, hypar.HyPar, hypar.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	skips, err := m.SkipEdges()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.Name, "skip edges:", skips)
+	fmt.Println("sink layer:", plan.LayerString(len(m.Layers)-1))
+	// Output:
+	// SRES-8 skip edges: 2
+	// sink layer: 0001
+}

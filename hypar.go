@@ -85,6 +85,26 @@ const (
 	FC = nn.FC
 )
 
+// JoinOp selects how a multi-input layer of a branched (DAG) model
+// combines its producers' feature maps (see nn.JoinOp): channel/vector
+// concatenation or the residual element-wise add.
+type JoinOp = nn.JoinOp
+
+// Join operators for hand-built branched models.
+const (
+	// JoinConcat concatenates producer feature maps — along channels
+	// for a convolutional consumer, along the flattened vector for a
+	// fully-connected one. The default for multi-input layers.
+	JoinConcat = nn.Concat
+	// JoinAdd element-wise adds identically shaped producer maps (the
+	// residual skip connection).
+	JoinAdd = nn.Add
+)
+
+// InputName is the reserved Layer.Inputs reference naming the model
+// input tensor in branched models.
+const InputName = nn.InputName
+
 // DType is the element type tensors are accounted in.
 type DType = tensor.DType
 
@@ -101,11 +121,18 @@ var (
 	FCLayer = nn.FCLayer
 )
 
-// Model zoo passthroughs (the paper's ten evaluation networks).
+// Model zoo passthroughs (the paper's ten evaluation networks plus the
+// branched workloads).
 var (
 	// Zoo returns the ten networks of the evaluation (Figure 5 order).
 	Zoo = nn.Zoo
-	// ModelByName looks a zoo network up by name, e.g. "VGG-A".
+	// BranchedZoo returns the branched (DAG) workload networks — the
+	// residual SRES-8 and the two-branch inception-style Incep-2. They
+	// are kept out of Zoo so the paper's figures stay exactly the
+	// paper's.
+	BranchedZoo = nn.BranchedZoo
+	// ModelByName looks a network up by name across Zoo and
+	// BranchedZoo, e.g. "VGG-A" or "SRES-8".
 	ModelByName = nn.ByName
 )
 

@@ -56,8 +56,16 @@ type Session struct {
 	cfg  hypar.Config
 	pool *runner.Pool
 
+	// pinMu guards the pinned model slices only. It is separate from mu
+	// because mu is held across whole comparison fan-outs (CompareZoo),
+	// and the session cache's eviction hook reads the pinned models from
+	// unrelated requests' goroutines — those must never wait on another
+	// request's compute.
+	pinMu    sync.Mutex
+	zoo      []*hypar.Model
+	branched []*hypar.Model
+
 	mu   sync.Mutex
-	zoo  []*hypar.Model
 	cmps []*hypar.Comparison
 }
 
@@ -80,12 +88,36 @@ func (s *Session) Pool() *runner.Pool { return s.pool }
 // inference memoizes per model instance, so every figure that walks
 // s.Zoo() shares one inference per (model, batch).
 func (s *Session) Zoo() []*hypar.Model {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.pinMu.Lock()
+	defer s.pinMu.Unlock()
 	if s.zoo == nil {
 		s.zoo = hypar.Zoo()
 	}
 	return s.zoo
+}
+
+// Branched returns the session's pinned branched (DAG) workload
+// networks, pinned on first use for the same shape-inference sharing
+// as Zoo.
+func (s *Session) Branched() []*hypar.Model {
+	s.pinMu.Lock()
+	defer s.pinMu.Unlock()
+	if s.branched == nil {
+		s.branched = hypar.BranchedZoo()
+	}
+	return s.branched
+}
+
+// PinnedModels returns every model instance the session has pinned so
+// far — zoo and branched — without forcing either set to build. The
+// session cache uses it to release a retired session's shape-cache
+// entries; it never blocks on in-flight comparison work.
+func (s *Session) PinnedModels() []*hypar.Model {
+	s.pinMu.Lock()
+	defer s.pinMu.Unlock()
+	out := make([]*hypar.Model, 0, len(s.zoo)+len(s.branched))
+	out = append(out, s.zoo...)
+	return append(out, s.branched...)
 }
 
 // CompareZoo runs all strategies over the ten zoo networks, fanning the

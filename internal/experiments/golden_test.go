@@ -19,17 +19,20 @@ var updateGolden = flag.Bool("update", false, "rewrite testdata/golden files")
 
 // goldenFigures names the paper tables pinned byte-for-byte. Fig6/7/8
 // are the headline results (performance, energy, communication across
-// the ten-network zoo) and platforms is the cross-platform comparison
-// (hmc vs gpu-hbm vs tpu-systolic, each at its native fabric); if an
-// implementation change shifts any number, the diff must be reviewed
-// and the goldens regenerated deliberately — paper numbers cannot
-// drift silently, and neither can the platform divergence.
+// the ten-network zoo), platforms is the cross-platform comparison
+// (hmc vs gpu-hbm vs tpu-systolic, each at its native fabric), and
+// branched is the DAG-workload table (SRES-8 and Incep-2 under the
+// graph partition search); if an implementation change shifts any
+// number, the diff must be reviewed and the goldens regenerated
+// deliberately — paper numbers cannot drift silently, and neither can
+// the platform divergence or the graph DP's choices.
 func goldenFigures() map[string]func(*Session) (*report.Table, error) {
 	return map[string]func(*Session) (*report.Table, error){
 		"fig6":      (*Session).Fig6,
 		"fig7":      (*Session).Fig7,
 		"fig8":      (*Session).Fig8,
 		"platforms": (*Session).PlatformTable,
+		"branched":  (*Session).BranchedTable,
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	hypar "repro"
 	"repro/internal/lru"
+	"repro/internal/nn"
 	"repro/internal/runner"
 )
 
@@ -26,11 +27,24 @@ type SessionCache struct {
 // NewSessionCache builds a cache bounded to max sessions, each created
 // on the given pool (nil = runner.Default). max <= 0 disables reuse:
 // every Get builds a fresh Session, the pre-cache behavior.
+//
+// Evicting a session also drops the shape-cache entries of every model
+// the session pinned: each session pins its own zoo instances, and the
+// nn shape cache memoizes per instance, so a retired session's entries
+// are dead weight the moment the last reference goes — previously they
+// lingered until the global cache aged them out, inflating it by one
+// zoo per evicted config.
 func NewSessionCache(max int, pool *runner.Pool) *SessionCache {
 	if pool == nil {
 		pool = runner.Default()
 	}
-	return &SessionCache{c: lru.New[hypar.Config, *Session](max), pool: pool}
+	c := &SessionCache{c: lru.New[hypar.Config, *Session](max), pool: pool}
+	c.c.SetOnEvict(func(_ hypar.Config, s *Session) {
+		for _, m := range s.PinnedModels() {
+			nn.DropCachedShapes(m)
+		}
+	})
+	return c
 }
 
 // SetOnBuild installs a hook invoked once per Session actually

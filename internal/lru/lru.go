@@ -1,8 +1,9 @@
 // Package lru provides the one bounded, thread-safe LRU cache the rest
 // of the repository builds on: the service's sharded response cache,
-// its decoded-model intern cache, and the experiments session cache
-// are all instances of Cache rather than hand-rolled copies — eviction
-// and locking invariants live here once, not per call site.
+// its decoded-model intern cache, the shape-inference memo in
+// internal/nn, and the experiments session cache are all instances of
+// Cache rather than hand-rolled copies — eviction and locking
+// invariants live here once, not per call site.
 package lru
 
 import (
@@ -15,10 +16,11 @@ import (
 // storage: every Get misses and every Put is dropped, while GetOrAdd
 // still builds (it just does not retain).
 type Cache[K comparable, V any] struct {
-	mu    sync.Mutex
-	max   int
-	ll    *list.List // front = most recently used
-	items map[K]*list.Element
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used
+	items   map[K]*list.Element
+	onEvict func(K, V)
 }
 
 // entry is one cached value with its key (needed for eviction).
@@ -30,6 +32,24 @@ type entry[K comparable, V any] struct {
 // New builds a cache bounded to max entries.
 func New[K comparable, V any](max int) *Cache[K, V] {
 	return &Cache[K, V]{max: max, ll: list.New(), items: make(map[K]*list.Element)}
+}
+
+// SetOnEvict installs a hook invoked once per entry leaving the cache —
+// capacity eviction, Remove, or RemoveIf (not value refreshes). The
+// hook runs after the cache lock is released, so it may use the cache's
+// own methods; install it before the cache is shared across goroutines.
+// Hooks for entries dropped by one operation run in eviction order.
+func (c *Cache[K, V]) SetOnEvict(fn func(K, V)) { c.onEvict = fn }
+
+// notify fires the eviction hook for every dropped entry. Callers must
+// NOT hold mu.
+func (c *Cache[K, V]) notify(dropped []entry[K, V]) {
+	if c.onEvict == nil {
+		return
+	}
+	for _, e := range dropped {
+		c.onEvict(e.key, e.val)
+	}
 }
 
 // Get returns the cached value and marks it most recently used.
@@ -52,13 +72,15 @@ func (c *Cache[K, V]) Put(key K, val V) {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*entry[K, V]).val = val
+		c.mu.Unlock()
 		return
 	}
-	c.insert(key, val)
+	dropped := c.insert(key, val)
+	c.mu.Unlock()
+	c.notify(dropped)
 }
 
 // GetOrAdd returns the cached value for key, building (and caching) it
@@ -68,26 +90,70 @@ func (c *Cache[K, V]) Put(key K, val V) {
 // bound every call builds and nothing is retained.
 func (c *Cache[K, V]) GetOrAdd(key K, build func() V) (V, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		return el.Value.(*entry[K, V]).val, false
+		val := el.Value.(*entry[K, V]).val
+		c.mu.Unlock()
+		return val, false
 	}
 	val := build()
+	var dropped []entry[K, V]
 	if c.max > 0 {
-		c.insert(key, val)
+		dropped = c.insert(key, val)
 	}
+	c.mu.Unlock()
+	c.notify(dropped)
 	return val, true
 }
 
-// insert adds a fresh entry and evicts past the bound. Callers hold mu.
-func (c *Cache[K, V]) insert(key K, val V) {
+// Remove drops the entry for key, reporting whether it was present.
+func (c *Cache[K, V]) Remove(key K) bool {
+	c.mu.Lock()
+	el, ok := c.items[key]
+	var dropped []entry[K, V]
+	if ok {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		dropped = append(dropped, *el.Value.(*entry[K, V]))
+	}
+	c.mu.Unlock()
+	c.notify(dropped)
+	return ok
+}
+
+// RemoveIf drops every entry whose key satisfies pred and returns how
+// many were dropped. pred runs under the cache lock — keep it cheap.
+func (c *Cache[K, V]) RemoveIf(pred func(K) bool) int {
+	c.mu.Lock()
+	var dropped []entry[K, V]
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*entry[K, V])
+		if pred(e.key) {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			dropped = append(dropped, *e)
+		}
+		el = next
+	}
+	c.mu.Unlock()
+	c.notify(dropped)
+	return len(dropped)
+}
+
+// insert adds a fresh entry and evicts past the bound, returning the
+// dropped entries. Callers hold mu.
+func (c *Cache[K, V]) insert(key K, val V) []entry[K, V] {
 	c.items[key] = c.ll.PushFront(&entry[K, V]{key: key, val: val})
+	var dropped []entry[K, V]
 	for c.ll.Len() > c.max {
 		last := c.ll.Back()
 		c.ll.Remove(last)
-		delete(c.items, last.Value.(*entry[K, V]).key)
+		e := last.Value.(*entry[K, V])
+		delete(c.items, e.key)
+		dropped = append(dropped, *e)
 	}
+	return dropped
 }
 
 // Len returns the current entry count.

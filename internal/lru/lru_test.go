@@ -99,3 +99,69 @@ func TestLRUBoundUnderChurn(t *testing.T) {
 		t.Errorf("steady-state len %d, want %d", c.Len(), max)
 	}
 }
+
+// TestRemove drops one entry and leaves the rest.
+func TestRemove(t *testing.T) {
+	c := New[int, string](4)
+	c.Put(1, "a")
+	c.Put(2, "b")
+	if !c.Remove(1) {
+		t.Fatal("Remove(1) reported absent")
+	}
+	if c.Remove(1) {
+		t.Fatal("second Remove(1) reported present")
+	}
+	if _, ok := c.Get(1); ok {
+		t.Error("removed entry still present")
+	}
+	if v, ok := c.Get(2); !ok || v != "b" {
+		t.Errorf("Get(2) = %q, %v after removing 1", v, ok)
+	}
+}
+
+// TestRemoveIf drops entries by predicate and counts them.
+func TestRemoveIf(t *testing.T) {
+	c := New[int, int](8)
+	for i := 0; i < 8; i++ {
+		c.Put(i, i)
+	}
+	if n := c.RemoveIf(func(k int) bool { return k%2 == 0 }); n != 4 {
+		t.Fatalf("RemoveIf dropped %d, want 4", n)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("len %d after RemoveIf, want 4", c.Len())
+	}
+	for i := 0; i < 8; i++ {
+		_, ok := c.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Errorf("Get(%d) present=%v, want %v", i, ok, want)
+		}
+	}
+}
+
+// TestOnEvictHook checks the hook fires exactly once per dropped entry
+// — capacity evictions, Remove and RemoveIf — and not for refreshes,
+// and that it can safely re-enter the cache (it runs unlocked).
+func TestOnEvictHook(t *testing.T) {
+	c := New[int, string](2)
+	var evicted []int
+	c.SetOnEvict(func(k int, v string) {
+		evicted = append(evicted, k)
+		c.Len() // re-entrancy: must not deadlock
+	})
+	c.Put(1, "a")
+	c.Put(1, "a2") // refresh: no eviction
+	c.Put(2, "b")
+	c.Put(3, "c") // evicts 1 (LRU)
+	c.Remove(2)
+	c.RemoveIf(func(k int) bool { return k == 3 })
+	want := []int{1, 2, 3}
+	if len(evicted) != len(want) {
+		t.Fatalf("evicted %v, want %v", evicted, want)
+	}
+	for i := range want {
+		if evicted[i] != want[i] {
+			t.Fatalf("evicted %v, want %v", evicted, want)
+		}
+	}
+}

@@ -1,9 +1,6 @@
 package nn
 
-import (
-	"sync"
-	"sync/atomic"
-)
+import "repro/internal/lru"
 
 // shapeKey identifies one memoized shape inference: the model instance
 // and the batch size it was run at.
@@ -12,19 +9,19 @@ type shapeKey struct {
 	batch int
 }
 
-// shapeCache memoizes Shapes results. Keyed by model pointer: callers
-// that want cache hits must reuse the same *Model across calls (the
-// experiments session pins the zoo once for exactly this reason).
-var shapeCache sync.Map // shapeKey -> []LayerShapes
-
-// shapeCacheSize tracks entries so churning workloads (thousands of
-// short-lived model instances) cannot grow the cache without bound;
-// past the limit the whole cache is dropped and rebuilt.
-var shapeCacheSize atomic.Int64
-
 // shapeCacheLimit bounds the entry count. At roughly a few KB per
 // entry this caps the cache in the tens of MB.
 const shapeCacheLimit = 4096
+
+// shapeCache memoizes Shapes results in a bounded per-entry LRU. Keyed
+// by model pointer: callers that want cache hits must reuse the same
+// *Model across calls (the experiments session pins the zoo once for
+// exactly this reason). Churning workloads — thousands of short-lived
+// model instances — only recycle the cold tail: hot entries survive
+// because every hit refreshes them, where the previous whole-map flush
+// dropped the pinned zoo along with the churn, and the pointer keys of
+// dead models now age out instead of being retained until a flush.
+var shapeCache = lru.New[shapeKey, []LayerShapes](shapeCacheLimit)
 
 // CachedShapes is Shapes with memoization per (model, batch). The
 // returned slice is shared between all callers and must be treated as
@@ -33,22 +30,29 @@ const shapeCacheLimit = 4096
 // not be mutated after its shapes have been cached.
 func (m *Model) CachedShapes(batch int) ([]LayerShapes, error) {
 	key := shapeKey{model: m, batch: batch}
-	if v, ok := shapeCache.Load(key); ok {
-		return v.([]LayerShapes), nil
+	if v, ok := shapeCache.Get(key); ok {
+		return v, nil
 	}
+	// Inference runs outside the cache lock (it is too expensive for
+	// GetOrAdd's build); concurrent misses may both compute, and the
+	// GetOrAdd below keeps one winner so all callers share one slice.
 	shapes, err := m.Shapes(batch)
 	if err != nil {
 		return nil, err
 	}
-	// Concurrent misses may both compute; LoadOrStore keeps one winner
-	// so all callers share a single slice.
-	v, loaded := shapeCache.LoadOrStore(key, shapes)
-	if !loaded && shapeCacheSize.Add(1) > shapeCacheLimit {
-		shapeCacheSize.Store(0)
-		shapeCache.Range(func(k, _ interface{}) bool {
-			shapeCache.Delete(k)
-			return true
-		})
-	}
-	return v.([]LayerShapes), nil
+	v, _ := shapeCache.GetOrAdd(key, func() []LayerShapes { return shapes })
+	return v, nil
 }
+
+// DropCachedShapes removes every cached shape inference of the model
+// (all batch sizes) and returns how many entries were dropped. Callers
+// that pin model instances — the experiments session cache — use it to
+// release a retired instance's entries instead of waiting for them to
+// age out of the LRU.
+func DropCachedShapes(m *Model) int {
+	return shapeCache.RemoveIf(func(k shapeKey) bool { return k.model == m })
+}
+
+// ShapeCacheLen reports the current shape-cache entry count (for tests
+// and leak diagnostics).
+func ShapeCacheLen() int { return shapeCache.Len() }

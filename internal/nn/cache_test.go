@@ -76,7 +76,104 @@ func TestShapeCacheEviction(t *testing.T) {
 			t.Fatalf("iteration %d: %d shapes", i, len(s))
 		}
 	}
-	if n := shapeCacheSize.Load(); n > shapeCacheLimit {
-		t.Errorf("cache size counter %d exceeds limit %d", n, shapeCacheLimit)
+	if n := ShapeCacheLen(); n > shapeCacheLimit {
+		t.Errorf("cache size %d exceeds limit %d", n, shapeCacheLimit)
+	}
+}
+
+// TestShapeCacheHotEntriesSurviveChurn is the regression test for the
+// whole-map flush the cache used to perform when full: a pinned zoo's
+// hot entries must survive hostile all-unique-model churn far past the
+// limit, as long as they stay hot. Survival is observed structurally —
+// a hit returns the identical cached slice, a recompute does not.
+func TestShapeCacheHotEntriesSurviveChurn(t *testing.T) {
+	zoo := Zoo()
+	pinned := make([][]LayerShapes, len(zoo))
+	for i, m := range zoo {
+		s, err := m.CachedShapes(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pinned[i] = s
+	}
+	// Churn 3x the limit in unique instances, touching the zoo entries
+	// every touchEvery insertions (any cadence under the limit keeps
+	// them hot). The historical flush dropped the zoo at every limit
+	// crossing regardless of how hot it was.
+	const touchEvery = 256
+	for i := 0; i < 3*shapeCacheLimit; i++ {
+		m := LenetC()
+		if _, err := m.CachedShapes(8); err != nil {
+			t.Fatal(err)
+		}
+		if i%touchEvery == 0 {
+			for j, zm := range zoo {
+				s, err := zm.CachedShapes(7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if &s[0] != &pinned[j][0] {
+					t.Fatalf("churn iteration %d evicted hot zoo entry %s", i, zm.Name)
+				}
+			}
+		}
+	}
+	if n := ShapeCacheLen(); n > shapeCacheLimit {
+		t.Errorf("cache size %d exceeds limit %d", n, shapeCacheLimit)
+	}
+}
+
+// TestShapeCacheBoundExactUnderRace hammers the cache from many
+// goroutines with all-unique models and checks the bound is exact at
+// every observation point — the counter-drift regression (a flush's
+// reset racing concurrent increments) cannot recur when the LRU is the
+// single source of truth. Run with -race for the full guarantee.
+func TestShapeCacheBoundExactUnderRace(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2*shapeCacheLimit/8; i++ {
+				m := LenetC()
+				if _, err := m.CachedShapes(8); err != nil {
+					t.Error(err)
+					return
+				}
+				if n := ShapeCacheLen(); n > shapeCacheLimit {
+					t.Errorf("cache size %d exceeds limit %d", n, shapeCacheLimit)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestDropCachedShapes verifies per-model removal: only the dropped
+// model's entries (every batch size) leave the cache.
+func TestDropCachedShapes(t *testing.T) {
+	a, b := LenetC(), CifarC()
+	for _, batch := range []int{3, 5, 9} {
+		if _, err := a.CachedShapes(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sb, err := b.CachedShapes(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := DropCachedShapes(a); n != 3 {
+		t.Fatalf("DropCachedShapes dropped %d entries, want 3", n)
+	}
+	if n := DropCachedShapes(a); n != 0 {
+		t.Fatalf("second drop removed %d entries, want 0", n)
+	}
+	again, err := b.CachedShapes(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &again[0] != &sb[0] {
+		t.Error("dropping model a evicted model b's entry")
 	}
 }

@@ -24,16 +24,20 @@ const (
 )
 
 // layerJSON is the wire form of one weighted layer. Field order is the
-// canonical serialization order.
+// canonical serialization order. Inputs names the producer layers
+// (absent = the previous layer; "input" = the model input) and join
+// selects how several inputs combine ("concat" default, "add").
 type layerJSON struct {
-	Name   string `json:"name"`
-	Type   string `json:"type"`
-	K      int    `json:"k,omitempty"`
-	Stride int    `json:"stride,omitempty"`
-	Pad    int    `json:"pad,omitempty"`
-	Cout   int    `json:"cout"`
-	Pool   int    `json:"pool,omitempty"`
-	Act    string `json:"act,omitempty"`
+	Name   string   `json:"name"`
+	Type   string   `json:"type"`
+	Inputs []string `json:"inputs,omitempty"`
+	Join   string   `json:"join,omitempty"`
+	K      int      `json:"k,omitempty"`
+	Stride int      `json:"stride,omitempty"`
+	Pad    int      `json:"pad,omitempty"`
+	Cout   int      `json:"cout"`
+	Pool   int      `json:"pool,omitempty"`
+	Act    string   `json:"act,omitempty"`
 }
 
 // inputJSON is the wire form of the input geometry.
@@ -59,6 +63,19 @@ func parseLayerType(s string) (LayerType, error) {
 		return FC, nil
 	default:
 		return 0, fmt.Errorf("%w: unknown layer type %q (conv, fc)", ErrCodec, s)
+	}
+}
+
+// parseJoin maps the wire spelling to a JoinOp. The empty string
+// selects Concat, the default.
+func parseJoin(s string) (JoinOp, error) {
+	switch strings.ToLower(s) {
+	case "", "concat":
+		return Concat, nil
+	case "add":
+		return Add, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown join %q (concat, add)", ErrCodec, s)
 	}
 }
 
@@ -130,8 +147,17 @@ func modelFromJSON(mj *modelJSON) (*Model, error) {
 		if err != nil {
 			return nil, fmt.Errorf("layer %d (%q): %w", i, lj.Name, err)
 		}
+		join, err := parseJoin(lj.Join)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d (%q): %w", i, lj.Name, err)
+		}
+		inputs := lj.Inputs
+		if len(inputs) == 0 {
+			inputs = nil // an explicit empty list means the default
+		}
 		m.Layers = append(m.Layers, Layer{
 			Name: lj.Name, Type: t,
+			Inputs: inputs, Join: join,
 			K: lj.K, Stride: lj.Stride, Pad: lj.Pad,
 			Cout: lj.Cout, Pool: lj.Pool, Act: act,
 		})
@@ -144,11 +170,14 @@ func modelFromJSON(mj *modelJSON) (*Model, error) {
 
 // EncodeModel renders the model in canonical JSON: fixed field order,
 // no insignificant whitespace, defaults normalized (stride and pool
-// unset or 1 are omitted, ReLU is omitted). Two models with identical
-// semantics therefore serialize to identical bytes — the property the
-// service's request hash relies on. The model must be valid.
+// unset or 1 are omitted, ReLU is omitted, inputs that resolve to the
+// implicit previous layer are omitted along with a concat join). Two
+// models with identical semantics therefore serialize to identical
+// bytes — the property the service's request hash relies on. The model
+// must be valid.
 func EncodeModel(m *Model) ([]byte, error) {
-	if err := m.Validate(); err != nil {
+	preds, err := m.validatePreds()
+	if err != nil {
 		return nil, err
 	}
 	mj := modelJSON{
@@ -156,8 +185,21 @@ func EncodeModel(m *Model) ([]byte, error) {
 		Input:  inputJSON{H: m.Input.H, W: m.Input.W, C: m.Input.C},
 		Layers: make([]layerJSON, 0, len(m.Layers)),
 	}
-	for _, l := range m.Layers {
+	for i, l := range m.Layers {
 		lj := layerJSON{Name: l.Name, Type: l.Type.String(), Cout: l.Cout}
+		if !DefaultPreds(i, preds[i]) {
+			lj.Inputs = make([]string, 0, len(preds[i]))
+			for _, p := range preds[i] {
+				if p < 0 {
+					lj.Inputs = append(lj.Inputs, InputName)
+				} else {
+					lj.Inputs = append(lj.Inputs, m.Layers[p].Name)
+				}
+			}
+			if len(preds[i]) >= 2 && l.Join != Concat {
+				lj.Join = l.Join.String()
+			}
+		}
 		if l.Type == Conv {
 			lj.K = l.K
 			if s := l.stride(); s != 1 {

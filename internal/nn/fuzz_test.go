@@ -21,6 +21,12 @@ func FuzzDecodeModel(f *testing.F) {
 	f.Add([]byte(`null`))
 	f.Add([]byte(``))
 	f.Add([]byte(`{"name":"x","input":{"h":8,"w":8,"c":3},"layers":[{"name":"l","type":"fc","cout":10}]}trailing`))
+	// Branched (DAG) models: a concat fork/join, a residual add join,
+	// and malformed graph wirings (forward reference, reserved name).
+	f.Add([]byte(`{"name":"g","input":{"h":8,"w":8,"c":3},"layers":[{"name":"a","type":"conv","k":3,"pad":1,"cout":4},{"name":"b1","type":"conv","k":1,"cout":2,"inputs":["a"]},{"name":"b2","type":"conv","k":3,"pad":1,"cout":2,"inputs":["a"]},{"name":"c","type":"conv","k":3,"pad":1,"cout":4,"inputs":["b1","b2"]},{"name":"f","type":"fc","cout":10}]}`))
+	f.Add([]byte(`{"name":"r","input":{"h":8,"w":8,"c":3},"layers":[{"name":"a","type":"conv","k":3,"pad":1,"cout":4},{"name":"b","type":"conv","k":3,"pad":1,"cout":4},{"name":"c","type":"conv","k":3,"pad":1,"cout":4,"inputs":["a","b"],"join":"add"},{"name":"f","type":"fc","cout":10}]}`))
+	f.Add([]byte(`{"name":"bad","input":{"h":8,"w":8,"c":3},"layers":[{"name":"a","type":"fc","cout":4,"inputs":["z"]},{"name":"z","type":"fc","cout":4}]}`))
+	f.Add([]byte(`{"name":"bad2","input":{"h":8,"w":8,"c":3},"layers":[{"name":"input","type":"fc","cout":4}]}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := DecodeModel(data)
 		if err != nil {

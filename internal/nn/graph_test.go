@@ -1,0 +1,270 @@
+package nn
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// graphModel returns a small fork/join net: input → a → {b1, b2} → c
+// (concat) → fc.
+func graphModel() *Model {
+	return &Model{
+		Name:  "g",
+		Input: Input{H: 8, W: 8, C: 3},
+		Layers: []Layer{
+			{Name: "a", Type: Conv, K: 3, Pad: 1, Cout: 4, Act: ReLU},
+			{Name: "b1", Type: Conv, K: 3, Pad: 1, Cout: 4, Act: ReLU, Inputs: []string{"a"}},
+			{Name: "b2", Type: Conv, K: 3, Pad: 1, Cout: 6, Act: ReLU, Inputs: []string{"a"}},
+			{Name: "c", Type: Conv, K: 3, Pad: 1, Cout: 8, Act: ReLU, Inputs: []string{"b1", "b2"}},
+			{Name: "f", Type: FC, Cout: 10, Act: Softmax},
+		},
+	}
+}
+
+func TestGraphLayerPreds(t *testing.T) {
+	m := graphModel()
+	preds, err := m.LayerPreds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{-1}, {0}, {0}, {1, 2}, {3}}
+	if len(preds) != len(want) {
+		t.Fatalf("preds %v", preds)
+	}
+	for i := range want {
+		if len(preds[i]) != len(want[i]) {
+			t.Fatalf("layer %d preds %v, want %v", i, preds[i], want[i])
+		}
+		for j := range want[i] {
+			if preds[i][j] != want[i][j] {
+				t.Fatalf("layer %d preds %v, want %v", i, preds[i], want[i])
+			}
+		}
+	}
+	// A chain resolves to the implicit [-1], [0], [1], ...
+	chain, err := LenetC().LayerPreds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ps := range chain {
+		wantP := i - 1
+		if i == 0 {
+			wantP = -1
+		}
+		if len(ps) != 1 || ps[0] != wantP {
+			t.Fatalf("chain layer %d preds %v", i, ps)
+		}
+	}
+}
+
+func TestGraphConcatShapes(t *testing.T) {
+	m := graphModel()
+	shapes, err := m.Shapes(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c consumes concat(b1, b2): 8x8x(4+6).
+	if in := shapes[3].In; in.H != 8 || in.W != 8 || in.C != 10 {
+		t.Errorf("concat input %v, want 8x8x10", in)
+	}
+	if k := shapes[3].Kernel; k.Cin != 10 {
+		t.Errorf("concat consumer kernel Cin=%d, want 10", k.Cin)
+	}
+	// fc flattens c's carried output.
+	if in := shapes[4].In; in.C != 8*8*8 {
+		t.Errorf("fc input %v, want flattened 512", in)
+	}
+}
+
+func TestGraphAddShapes(t *testing.T) {
+	m := SRES8()
+	shapes, err := m.Shapes(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// conv3a consumes add(conv1, conv2b): identical 32x32x16 maps.
+	if in := shapes[3].In; in.H != 32 || in.W != 32 || in.C != 16 {
+		t.Errorf("add input %v, want 32x32x16", in)
+	}
+	// conv4 consumes add(conv3a carried after pool, conv3b): 16x16x32.
+	if in := shapes[5].In; in.H != 16 || in.W != 16 || in.C != 32 {
+		t.Errorf("second add input %v, want 16x16x32", in)
+	}
+}
+
+// TestGraphFCConcatFlattens checks that a fully-connected consumer
+// concatenates flattened producer vectors regardless of spatial shape.
+func TestGraphFCConcatFlattens(t *testing.T) {
+	m := &Model{
+		Name:  "fcj",
+		Input: Input{H: 8, W: 8, C: 2},
+		Layers: []Layer{
+			{Name: "a", Type: Conv, K: 3, Pad: 1, Cout: 4, Pool: 2, Act: ReLU},
+			{Name: "b", Type: Conv, K: 3, Pad: 1, Cout: 4, Act: ReLU, Inputs: []string{"a"}},
+			{Name: "f", Type: FC, Cout: 10, Inputs: []string{"a", "b"}},
+		},
+	}
+	shapes, err := m.Shapes(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4*4*4 + 4*4*4
+	if in := shapes[2].In; in.C != want || in.H != 1 || in.W != 1 {
+		t.Errorf("fc concat input %v, want 1x1x%d", in, want)
+	}
+}
+
+func TestGraphValidateRejects(t *testing.T) {
+	base := func() *Model { return graphModel() }
+	cases := map[string]func(*Model){
+		"unknown input":    func(m *Model) { m.Layers[3].Inputs = []string{"b1", "nope"} },
+		"forward ref":      func(m *Model) { m.Layers[1].Inputs = []string{"c"} },
+		"self ref":         func(m *Model) { m.Layers[1].Inputs = []string{"b1"} },
+		"duplicate input":  func(m *Model) { m.Layers[3].Inputs = []string{"b1", "b1"} },
+		"duplicate name":   func(m *Model) { m.Layers[2].Name = "b1"; m.Layers[3].Inputs = []string{"b1"} },
+		"reserved name":    func(m *Model) { m.Layers[0].Name = "input" },
+		"dangling layer":   func(m *Model) { m.Layers[3].Inputs = []string{"b1"} }, // b2 never consumed
+		"add on 1 input":   func(m *Model) { m.Layers[1].Join = Add },
+		"add mismatch":     func(m *Model) { m.Layers[3].Join = Add }, // 4 vs 6 channels
+		"conv consumes fc": func(m *Model) { m.Layers[2].Type = FC; m.Layers[2].K = 0; m.Layers[2].Pad = 0 },
+		"empty input name": func(m *Model) { m.Layers[3].Inputs = []string{"b1", ""} },
+	}
+	for name, mutate := range cases {
+		m := base()
+		mutate(m)
+		err := m.Validate()
+		if err == nil {
+			// Shape-level failures (add mismatch) surface in Shapes.
+			_, err = m.Shapes(2)
+		}
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !errors.Is(err, ErrModel) {
+			t.Errorf("%s: error %v does not wrap ErrModel", name, err)
+		}
+	}
+}
+
+func TestGraphConcatSpatialMismatch(t *testing.T) {
+	m := &Model{
+		Name:  "mis",
+		Input: Input{H: 8, W: 8, C: 2},
+		Layers: []Layer{
+			{Name: "a", Type: Conv, K: 3, Pad: 1, Cout: 4, Act: ReLU},
+			{Name: "b", Type: Conv, K: 3, Pad: 1, Cout: 4, Pool: 2, Act: ReLU, Inputs: []string{"a"}},
+			{Name: "c", Type: Conv, K: 3, Pad: 1, Cout: 8, Act: ReLU, Inputs: []string{"a", "b"}},
+		},
+	}
+	if _, err := m.Shapes(2); err == nil {
+		t.Fatal("8x8 and 4x4 channel concat accepted")
+	}
+}
+
+func TestBranchedZooValid(t *testing.T) {
+	for _, m := range BranchedZoo() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+		if !m.IsGraph() {
+			t.Errorf("%s is not a graph model", m.Name)
+		}
+		if _, err := m.Shapes(256); err != nil {
+			t.Errorf("%s shapes: %v", m.Name, err)
+		}
+		byName, err := ByName(m.Name)
+		if err != nil {
+			t.Errorf("ByName(%s): %v", m.Name, err)
+		} else if byName.Name != m.Name {
+			t.Errorf("ByName(%s) returned %s", m.Name, byName.Name)
+		}
+	}
+	if m := SRES8(); m.NumWeighted() != 8 {
+		t.Errorf("SRES-8 has %d weighted layers, want 8", m.NumWeighted())
+	}
+	if m := Incep2(); m.NumWeighted() != 6 {
+		t.Errorf("Incep-2 has %d weighted layers, want 6", m.NumWeighted())
+	}
+}
+
+// TestGraphCodecRoundTrip pins the canonical wire form of a branched
+// model: explicit single-predecessor inputs that equal the implicit
+// previous layer are omitted, joins default to concat, and the
+// canonical form is a fixed point.
+func TestGraphCodecRoundTrip(t *testing.T) {
+	for _, m := range append(BranchedZoo(), graphModel()) {
+		enc, err := EncodeModel(m)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", m.Name, err)
+		}
+		m2, err := DecodeModel(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v\n%s", m.Name, err, enc)
+		}
+		enc2, err := EncodeModel(m2)
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", m.Name, err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("%s: canonical encoding is not a fixed point:\n%s\n%s", m.Name, enc, enc2)
+		}
+		// Same shapes on both sides of the round trip.
+		s1, err := m.Shapes(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := m2.Shapes(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range s1 {
+			if s1[i].In != s2[i].In || s1[i].Out != s2[i].Out || s1[i].Kernel != s2[i].Kernel {
+				t.Fatalf("%s layer %d: shapes drifted across round trip", m.Name, i)
+			}
+		}
+	}
+}
+
+// TestGraphCodecCanonicalizesDefaults checks explicit default inputs
+// are canonicalized away and equivalent spellings hash-equal.
+func TestGraphCodecCanonicalizesDefaults(t *testing.T) {
+	explicit := []byte(`{"name":"x","input":{"h":4,"w":4,"c":1},"layers":[` +
+		`{"name":"a","type":"conv","k":3,"pad":1,"cout":2,"inputs":["input"]},` +
+		`{"name":"b","type":"fc","cout":4,"inputs":["a"],"join":"concat"}]}`)
+	implicit := []byte(`{"name":"x","input":{"h":4,"w":4,"c":1},"layers":[` +
+		`{"name":"a","type":"conv","k":3,"pad":1,"cout":2},` +
+		`{"name":"b","type":"fc","cout":4}]}`)
+	me, err := DecodeModel(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi, err := DecodeModel(implicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ee, err := EncodeModel(me)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ei, err := EncodeModel(mi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ee, ei) {
+		t.Fatalf("equivalent spellings encode differently:\n%s\n%s", ee, ei)
+	}
+}
+
+func TestGraphCodecRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown join":  `{"name":"x","input":{"h":4,"w":4,"c":1},"layers":[{"name":"a","type":"conv","k":3,"cout":2},{"name":"b","type":"conv","k":1,"cout":2,"inputs":["a","input"],"join":"mul"}]}`,
+		"unknown input": `{"name":"x","input":{"h":4,"w":4,"c":1},"layers":[{"name":"a","type":"fc","cout":2,"inputs":["ghost"]}]}`,
+		"forward ref":   `{"name":"x","input":{"h":4,"w":4,"c":1},"layers":[{"name":"a","type":"fc","cout":2,"inputs":["b"]},{"name":"b","type":"fc","cout":2}]}`,
+		"multi sink":    `{"name":"x","input":{"h":4,"w":4,"c":1},"layers":[{"name":"a","type":"fc","cout":2,"inputs":["input"]},{"name":"b","type":"fc","cout":2,"inputs":["input"]}]}`,
+	}
+	for name, in := range cases {
+		if _, err := DecodeModel([]byte(in)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}

@@ -78,11 +78,60 @@ func (a Activation) String() string {
 	}
 }
 
+// JoinOp selects how a layer with several inputs combines its
+// producers' feature maps before the weighted op. Joins are folded into
+// the consuming layer, like pooling and activation: they never incur
+// inter-accelerator communication by themselves — what they do incur is
+// the Table 2 inter-layer conversion on every join edge whose producer
+// and consumer disagree on parallelism.
+type JoinOp int
+
+const (
+	// Concat concatenates the producer feature maps: along channels for
+	// a convolutional consumer (equal spatial extents required), along
+	// the flattened neuron vector for a fully-connected consumer.
+	Concat JoinOp = iota
+	// Add element-wise adds identically shaped producer maps — the
+	// residual skip connection.
+	Add
+)
+
+// String implements fmt.Stringer using the wire spellings.
+func (j JoinOp) String() string {
+	switch j {
+	case Concat:
+		return "concat"
+	case Add:
+		return "add"
+	default:
+		return fmt.Sprintf("JoinOp(%d)", int(j))
+	}
+}
+
+// InputName is the reserved input reference that names the model's
+// input tensor in Layer.Inputs; no weighted layer may carry this name.
+const InputName = "input"
+
 // Layer is the hyper-parameter record HP[l] of Algorithm 1: one weighted
-// layer together with its folded-in pooling and activation.
+// layer together with its folded-in pooling and activation, and — for
+// branched (DAG) models — the names of the layers it consumes.
 type Layer struct {
 	Name string
 	Type LayerType
+
+	// Inputs names the layers whose outputs this layer consumes, in
+	// channel order; the reserved name "input" refers to the model
+	// input. Empty means the previous layer in declaration order (the
+	// model input for the first layer) — every linear chain therefore
+	// needs no Inputs at all. A layer naming the same producer as a
+	// sibling forks that producer's feature map; a layer with several
+	// inputs joins them per Join.
+	Inputs []string
+
+	// Join combines multiple Inputs (Concat by default); meaningless —
+	// and rejected when set to anything but Concat — on layers with
+	// fewer than two inputs.
+	Join JoinOp
 
 	// Convolution geometry (ignored for FC layers).
 	K      int // kernel height/width
@@ -121,6 +170,19 @@ func (l Layer) Validate() error {
 	}
 	if l.Pool < 0 {
 		return fmt.Errorf("%w: layer %q has Pool=%d", ErrModel, l.Name, l.Pool)
+	}
+	switch l.Join {
+	case Concat, Add:
+	default:
+		return fmt.Errorf("%w: layer %q has unknown join %v", ErrModel, l.Name, l.Join)
+	}
+	if l.Join != Concat && len(l.Inputs) < 2 {
+		return fmt.Errorf("%w: layer %q joins with %v but has %d inputs", ErrModel, l.Name, l.Join, len(l.Inputs))
+	}
+	for _, in := range l.Inputs {
+		if in == "" {
+			return fmt.Errorf("%w: layer %q has an empty input name", ErrModel, l.Name)
+		}
 	}
 	return nil
 }

@@ -175,9 +175,67 @@ func Zoo() []*Model {
 	}
 }
 
-// ByName returns the zoo network with the given name.
+// SRES8 is a small residual CIFAR-10 network: a stem convolution, two
+// residual blocks whose skip tensors rejoin by element-wise addition,
+// and a two-layer classifier — eight weighted layers forming a DAG.
+// It exercises the fork/add-join paths of the graph partition search:
+// every skip edge whose producer and consumer disagree on parallelism
+// pays the paper's Table 2 conversion for the duplicated feature map.
+func SRES8() *Model {
+	return &Model{
+		Name:  "SRES-8",
+		Input: CIFARInput,
+		Layers: []Layer{
+			{Name: "conv1", Type: Conv, K: 3, Pad: 1, Cout: 16, Act: ReLU},
+			{Name: "conv2a", Type: Conv, K: 3, Pad: 1, Cout: 16, Act: ReLU},
+			{Name: "conv2b", Type: Conv, K: 3, Pad: 1, Cout: 16, Act: ReLU},
+			{Name: "conv3a", Type: Conv, K: 3, Pad: 1, Cout: 32, Pool: 2, Act: ReLU,
+				Inputs: []string{"conv1", "conv2b"}, Join: Add},
+			{Name: "conv3b", Type: Conv, K: 3, Pad: 1, Cout: 32, Act: ReLU},
+			{Name: "conv4", Type: Conv, K: 3, Pad: 1, Cout: 64, Pool: 2, Act: ReLU,
+				Inputs: []string{"conv3a", "conv3b"}, Join: Add},
+			FCLayer("fc1", 64),
+			{Name: "fc2", Type: FC, Cout: 10, Act: Softmax},
+		},
+	}
+}
+
+// Incep2 is a two-branch inception-style CIFAR-10 network: a pooled
+// stem forks into a 1×1 and a 3×3 branch whose outputs rejoin by
+// channel concatenation — six weighted layers. It exercises the
+// fork/concat-join paths of the graph partition search.
+func Incep2() *Model {
+	return &Model{
+		Name:  "Incep-2",
+		Input: CIFARInput,
+		Layers: []Layer{
+			{Name: "stem", Type: Conv, K: 3, Pad: 1, Cout: 32, Pool: 2, Act: ReLU},
+			{Name: "b1x1", Type: Conv, K: 1, Cout: 24, Act: ReLU, Inputs: []string{"stem"}},
+			{Name: "b3x3", Type: Conv, K: 3, Pad: 1, Cout: 40, Act: ReLU, Inputs: []string{"stem"}},
+			{Name: "merge", Type: Conv, K: 3, Pad: 1, Cout: 64, Pool: 2, Act: ReLU,
+				Inputs: []string{"b1x1", "b3x3"}},
+			FCLayer("fc1", 128),
+			{Name: "fc2", Type: FC, Cout: 10, Act: Softmax},
+		},
+	}
+}
+
+// BranchedZoo returns the branched (DAG) workload networks — the
+// residual SRES-8 and the two-branch Incep-2. They are deliberately
+// kept out of Zoo so the paper's ten-network figures stay exactly the
+// paper's; ByName resolves both sets.
+func BranchedZoo() []*Model {
+	return []*Model{SRES8(), Incep2()}
+}
+
+// ByName returns the zoo or branched-zoo network with the given name.
 func ByName(name string) (*Model, error) {
 	for _, m := range Zoo() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	for _, m := range BranchedZoo() {
 		if m.Name == name {
 			return m, nil
 		}

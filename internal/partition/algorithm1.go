@@ -1,6 +1,12 @@
 package partition
 
-import "repro/internal/comm"
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/comm"
+	"repro/internal/nn"
+)
 
 // TwoWay is Algorithm 1: partition between two accelerator groups. It
 // takes the per-layer sharded tensor amounts (already reflecting the
@@ -100,4 +106,232 @@ func AssignmentCost(amounts []comm.LayerAmounts, a Assignment) float64 {
 		}
 	}
 	return total
+}
+
+// AssignmentCostGraph evaluates the graph form of the Algorithm 1
+// objective: every layer's intra-layer exchange plus, for every
+// layer-to-layer edge, the Table 2 conversion on the producer's
+// boundary tensors. preds is the model's resolved predecessor list
+// (nn.Model.LayerPreds; -1 entries denote the model input and carry no
+// cost). For a chain it equals AssignmentCost.
+func AssignmentCostGraph(amounts []comm.LayerAmounts, preds [][]int, a Assignment) float64 {
+	var total float64
+	for i := range amounts {
+		total += comm.Intra(a[i], amounts[i])
+		for _, u := range preds[i] {
+			if u >= 0 {
+				total += comm.Inter(a[u], a[i], amounts[u])
+			}
+		}
+	}
+	return total
+}
+
+// maxGraphFrontier bounds the number of simultaneously open layers the
+// graph dynamic program tracks. The state space is 2^frontier per step;
+// real branched networks (residual blocks, inception stems) keep the
+// frontier at 2-3, so 16 is far above anything sane while still
+// bounding the worst case.
+const maxGraphFrontier = 16
+
+// isChain reports whether the resolved predecessors describe a plain
+// linear chain (layer l consuming exactly layer l-1). One definition
+// of "chain" exists — nn.ChainPreds — shared with the trainer gate and
+// the canonical encoder.
+func isChain(preds [][]int) bool { return nn.ChainPreds(preds) }
+
+// frontierWidth returns the maximum number of simultaneously open
+// layers (produced but not yet fully consumed) over a topological walk
+// — the graph DP's state width.
+func frontierWidth(preds [][]int) int {
+	nl := len(preds)
+	remaining := make([]int, nl)
+	for _, ps := range preds {
+		for _, u := range ps {
+			if u >= 0 {
+				remaining[u]++
+			}
+		}
+	}
+	open, width := 0, 0
+	for l := 0; l < nl; l++ {
+		for _, u := range preds[l] {
+			if u >= 0 {
+				remaining[u]--
+				if remaining[u] == 0 {
+					open--
+				}
+			}
+		}
+		if remaining[l] > 0 {
+			open++
+		}
+		if open > width {
+			width = open
+		}
+	}
+	return width
+}
+
+// TwoWayGraph is TwoWay over a branched layer graph: it returns the
+// minimum total one-direction communication and the per-layer optimum
+// for one group pair, charging the Table 2 conversions on every
+// layer-to-layer edge whose endpoints disagree. Chains dispatch to the
+// paper's O(L) recurrence; general DAGs run an exact dynamic program
+// over the set of open edges (the "frontier"), O(L · 2^frontier). A
+// graph needing a frontier wider than maxGraphFrontier is rejected
+// (its state keys would overflow) rather than silently mis-solved.
+func TwoWayGraph(amounts []comm.LayerAmounts, preds [][]int) (float64, Assignment, error) {
+	if w := frontierWidth(preds); w > maxGraphFrontier {
+		return 0, nil, fmt.Errorf("%w: graph needs a partition frontier of %d open layers (max %d)",
+			ErrPlan, w, maxGraphFrontier)
+	}
+	cost, assign := twoWayGraphWith(amounts, preds, trainingCosts)
+	return cost, assign, nil
+}
+
+// twoWayGraphWith runs the graph dynamic program under an arbitrary
+// cost model; callers must have bounded the frontier width to
+// maxGraphFrontier (prepare does, TwoWayGraph does) or the uint32
+// state keys overflow. It processes layers in topological order,
+// carrying one state per assignment of the currently open layers —
+// layers whose outputs a later layer still consumes. Extending a state
+// with layer l's choice charges l's intra cost plus the conversion on
+// every incoming edge; a layer leaves the frontier when its last
+// consumer is processed, minimizing over its bit. Ties keep the more
+// data-parallel assignment, deterministically.
+func twoWayGraphWith(amounts []comm.LayerAmounts, preds [][]int, c costs) (float64, Assignment) {
+	nl := len(amounts)
+	if nl == 0 {
+		return 0, nil
+	}
+	if isChain(preds) {
+		return twoWayWith(amounts, c)
+	}
+
+	remaining := make([]int, nl) // unprocessed consumers per layer
+	for _, ps := range preds {
+		for _, u := range ps {
+			if u >= 0 {
+				remaining[u]++
+			}
+		}
+	}
+
+	// step records, per processed layer, the frontier it extended
+	// (previous frontier + the layer itself, the layer last) and the
+	// winning extended state behind every projected state.
+	type step struct {
+		midFrontier []int
+		pick        map[uint32]uint32
+	}
+	steps := make([]step, nl)
+
+	frontier := []int{}
+	states := map[uint32]float64{0: 0}
+
+	for l := 0; l < nl; l++ {
+		pos := make(map[int]int, len(frontier))
+		for i, u := range frontier {
+			pos[u] = i
+		}
+		midFrontier := append(append(make([]int, 0, len(frontier)+1), frontier...), l)
+		lbit := uint32(1) << uint(len(frontier))
+
+		// Phase A: extend every state with both choices for l. Each
+		// (state, choice) yields a distinct extended key — no merging.
+		mid := make(map[uint32]float64, 2*len(states))
+		for key, cost := range states {
+			for _, p := range []comm.Parallelism{comm.DP, comm.MP} {
+				nc := cost + c.intra(p, amounts[l])
+				for _, u := range preds[l] {
+					if u < 0 {
+						continue
+					}
+					pu := comm.DP
+					if key&(1<<uint(pos[u])) != 0 {
+						pu = comm.MP
+					}
+					nc += c.interF(pu, p, amounts[u]) + c.interE(pu, p, amounts[u])
+				}
+				mk := key
+				if p == comm.MP {
+					mk |= lbit
+				}
+				mid[mk] = nc
+			}
+		}
+
+		// Phase B: close layers whose last consumer was l (and l itself
+		// when nothing consumes it — the sink), minimizing over their
+		// bits. Extended keys are visited in ascending order so ties
+		// resolve to the lowest key (more dp), independent of map order.
+		for _, u := range preds[l] {
+			if u >= 0 {
+				remaining[u]--
+			}
+		}
+		var keepPos []int
+		newFrontier := frontier[:0:0]
+		for i, u := range midFrontier {
+			if remaining[u] > 0 {
+				keepPos = append(keepPos, i)
+				newFrontier = append(newFrontier, u)
+			}
+		}
+		mks := make([]uint32, 0, len(mid))
+		for mk := range mid {
+			mks = append(mks, mk)
+		}
+		sort.Slice(mks, func(i, j int) bool { return mks[i] < mks[j] })
+		after := make(map[uint32]float64, len(mid))
+		pick := make(map[uint32]uint32, len(mid))
+		for _, mk := range mks {
+			var ak uint32
+			for j, i := range keepPos {
+				if mk&(1<<uint(i)) != 0 {
+					ak |= 1 << uint(j)
+				}
+			}
+			if old, ok := after[ak]; !ok || mid[mk] < old {
+				after[ak] = mid[mk]
+				pick[ak] = mk
+			}
+		}
+		steps[l] = step{midFrontier: midFrontier, pick: pick}
+		frontier = newFrontier
+		states = after
+	}
+
+	// A single sink (validated by the model) leaves the final frontier
+	// empty — one state, keyed 0. Minimize over final states anyway so
+	// hand-built multi-sink graphs still resolve, lowest key on ties.
+	finals := make([]uint32, 0, len(states))
+	for k := range states {
+		finals = append(finals, k)
+	}
+	sort.Slice(finals, func(i, j int) bool { return finals[i] < finals[j] })
+	best, key := states[finals[0]], finals[0]
+	for _, k := range finals[1:] {
+		if states[k] < best {
+			best, key = states[k], k
+		}
+	}
+
+	// Traceback: walk the steps backward; each winning extended key
+	// fixes the choices of every layer open at that step (consistent
+	// along the path), and its low bits are the previous state's key.
+	assign := make(Assignment, nl)
+	for l := nl - 1; l >= 0; l-- {
+		mk := steps[l].pick[key]
+		for i, u := range steps[l].midFrontier {
+			if mk&(1<<uint(i)) != 0 {
+				assign[u] = comm.MP
+			} else {
+				assign[u] = comm.DP
+			}
+		}
+		key = mk &^ (uint32(1) << uint(len(steps[l].midFrontier)-1))
+	}
+	return best, assign
 }

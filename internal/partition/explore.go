@@ -29,10 +29,11 @@ func BruteForceWith(pool *runner.Pool, m *nn.Model, batch, levels int) (*Plan, e
 
 // bruteForceWith is BruteForceWith under an arbitrary cost model.
 func bruteForceWith(pool *runner.Pool, m *nn.Model, batch, levels int, c costs) (*Plan, error) {
-	shapes, err := prepare(m, batch, levels)
+	shapes, preds, err := prepare(m, batch, levels)
 	if err != nil {
 		return nil, err
 	}
+	edges := EdgesOf(preds)
 	nl := len(shapes)
 	bits := levels * nl
 	if bits > 24 {
@@ -54,7 +55,7 @@ func bruteForceWith(pool *runner.Pool, m *nn.Model, batch, levels int, c costs) 
 				}
 				assigns[b/nl][b%nl] = p
 			}
-			plan, err := evaluateShapesWith(m, batch, assigns, shapes, c)
+			plan, err := evaluateShapesWith(m, batch, assigns, shapes, edges, c)
 			if err != nil {
 				return nil, err
 			}
@@ -122,10 +123,11 @@ func exploreWith(pool *runner.Pool, m *nn.Model, batch int, base []Assignment, f
 			return nil, fmt.Errorf("%w: free variable layer %d out of range", ErrPlan, fv.Layer)
 		}
 	}
-	shapes, err := prepare(m, batch, len(base))
+	shapes, preds, err := prepare(m, batch, len(base))
 	if err != nil {
 		return nil, err
 	}
+	edges := EdgesOf(preds)
 	n := 1 << uint(len(free))
 	points := make([]ExplorePoint, n)
 	chunks := runner.Chunks(n, pool.Width(), 0)
@@ -142,7 +144,7 @@ func exploreWith(pool *runner.Pool, m *nn.Model, batch int, base []Assignment, f
 				}
 				work[fv.Level][fv.Layer] = p
 			}
-			plan, err := evaluateShapesWith(m, batch, work, shapes, c)
+			plan, err := evaluateShapesWith(m, batch, work, shapes, edges, c)
 			if err != nil {
 				return err
 			}

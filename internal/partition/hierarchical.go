@@ -2,6 +2,7 @@ package partition
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/comm"
 	"repro/internal/nn"
@@ -13,7 +14,9 @@ import (
 // tensors between levels according to the level's choice (dp halves the
 // batch; mp halves the kernel input dimension). The total communication
 // follows the paper's recursion com = com_h + 2·com_n, i.e. level h's
-// per-pair volume is counted once per group pair (2^h pairs).
+// per-pair volume is counted once per group pair (2^h pairs). Branched
+// (DAG) models run the graph generalization of Algorithm 1 per level;
+// chains run the paper's O(L) recurrence unchanged.
 func Hierarchical(m *nn.Model, batch, levels int) (*Plan, error) {
 	return hierarchicalWith(m, batch, levels, trainingCosts)
 }
@@ -24,29 +27,25 @@ func Hierarchical(m *nn.Model, batch, levels int) (*Plan, error) {
 // baselines, and the Figure 9/10 space exploration; Hierarchical's own
 // totals agree with it (tested).
 func Evaluate(m *nn.Model, batch int, levels []Assignment) (*Plan, error) {
-	shapes, err := prepare(m, batch, len(levels))
+	shapes, preds, err := prepare(m, batch, len(levels))
 	if err != nil {
 		return nil, err
 	}
-	return evaluateShapes(m, batch, levels, shapes)
+	return evaluateShapesWith(m, batch, levels, shapes, EdgesOf(preds), trainingCosts)
 }
 
-// evaluateShapes is Evaluate with shape inference already done, so the
-// enumeration hot paths (brute force, exploration) share one inference
-// across every plan they score.
-func evaluateShapes(m *nn.Model, batch int, levels []Assignment, shapes []nn.LayerShapes) (*Plan, error) {
-	return evaluateShapesWith(m, batch, levels, shapes, trainingCosts)
-}
-
-// evaluateShapesWith is evaluateShapes under an arbitrary cost model.
-func evaluateShapesWith(m *nn.Model, batch int, levels []Assignment, shapes []nn.LayerShapes, c costs) (*Plan, error) {
+// evaluateShapesWith is Evaluate with shape inference and edge
+// resolution already done, so the enumeration hot paths (brute force,
+// exploration) share one inference and one edge list across every plan
+// they score; edges is shared read-only (every plan aliases it).
+func evaluateShapesWith(m *nn.Model, batch int, levels []Assignment, shapes []nn.LayerShapes, edges []Edge, c costs) (*Plan, error) {
 	for h, a := range levels {
 		if len(a) != len(shapes) {
 			return nil, fmt.Errorf("%w: level %d has %d choices, model %q has %d layers",
 				ErrPlan, h, len(a), m.Name, len(shapes))
 		}
 	}
-	plan := &Plan{Model: m.Name, Batch: batch, Levels: make([]Assignment, len(levels))}
+	plan := &Plan{Model: m.Name, Batch: batch, Levels: make([]Assignment, len(levels)), Edges: edges}
 	for h := range levels {
 		plan.Levels[h] = levels[h].Clone()
 	}
@@ -54,16 +53,50 @@ func evaluateShapesWith(m *nn.Model, batch int, levels []Assignment, shapes []nn
 	return plan, nil
 }
 
-// prepare validates the request and runs (memoized) shape inference.
-func prepare(m *nn.Model, batch, levels int) ([]nn.LayerShapes, error) {
+// prepare validates the request, runs (memoized) shape inference, and
+// resolves the layer graph.
+func prepare(m *nn.Model, batch, levels int) ([]nn.LayerShapes, [][]int, error) {
 	if levels < 0 {
-		return nil, fmt.Errorf("%w: negative hierarchy depth %d", ErrPlan, levels)
+		return nil, nil, fmt.Errorf("%w: negative hierarchy depth %d", ErrPlan, levels)
 	}
 	if levels > 20 {
-		return nil, fmt.Errorf("%w: hierarchy depth %d (2^%d accelerators) is unreasonable",
+		return nil, nil, fmt.Errorf("%w: hierarchy depth %d (2^%d accelerators) is unreasonable",
 			ErrPlan, levels, levels)
 	}
-	return m.CachedShapes(batch)
+	shapes, err := m.CachedShapes(batch)
+	if err != nil {
+		return nil, nil, err
+	}
+	preds, err := m.LayerPreds()
+	if err != nil {
+		return nil, nil, err
+	}
+	if w := frontierWidth(preds); w > maxGraphFrontier {
+		return nil, nil, fmt.Errorf("%w: model %q needs a partition frontier of %d open layers (max %d)",
+			ErrPlan, m.Name, w, maxGraphFrontier)
+	}
+	return shapes, preds, nil
+}
+
+// EdgesOf derives the layer-to-layer edge list from resolved
+// predecessors, in canonical (Src, then Dst) order. Model-input
+// references (-1) carry no partition cost and are dropped.
+func EdgesOf(preds [][]int) []Edge {
+	var edges []Edge
+	for v, ps := range preds {
+		for _, u := range ps {
+			if u >= 0 {
+				edges = append(edges, Edge{Src: u, Dst: v})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Src != edges[j].Src {
+			return edges[i].Src < edges[j].Src
+		}
+		return edges[i].Dst < edges[j].Dst
+	})
+	return edges
 }
 
 // amountsAt derives the per-pair amounts of every layer under the given
@@ -78,7 +111,9 @@ func amountsAt(shapes []nn.LayerShapes, shards []tensor.Shard) []comm.LayerAmoun
 
 // fillDetailsWith populates plan.Details and plan.TotalElems from the
 // plan's level assignments under the cost model, threading shard state
-// down the hierarchy.
+// down the hierarchy. Inter-layer conversions are charged per edge
+// (plan.Edges) on the producer's boundary tensors, so a forked feature
+// map pays one conversion per disagreeing consumer.
 func fillDetailsWith(plan *Plan, shapes []nn.LayerShapes, c costs) {
 	nl := len(shapes)
 	shards := make([]tensor.Shard, nl)
@@ -90,8 +125,8 @@ func fillDetailsWith(plan *Plan, shapes []nn.LayerShapes, c costs) {
 		d := LevelDetail{
 			IntraFwd:  make([]float64, nl),
 			IntraGrad: make([]float64, nl),
-			InterF:    make([]float64, nl),
-			InterE:    make([]float64, nl),
+			InterF:    make([]float64, len(plan.Edges)),
+			InterE:    make([]float64, len(plan.Edges)),
 		}
 		for l := 0; l < nl; l++ {
 			switch assign[l] {
@@ -100,14 +135,14 @@ func fillDetailsWith(plan *Plan, shapes []nn.LayerShapes, c costs) {
 			default:
 				d.IntraGrad[l] = c.intra(comm.DP, amounts[l])
 			}
-			if l+1 < nl {
-				d.InterF[l] = c.interF(assign[l], assign[l+1], amounts[l])
-				d.InterE[l] = c.interE(assign[l], assign[l+1], amounts[l])
-			}
+		}
+		for e, ed := range plan.Edges {
+			d.InterF[e] = c.interF(assign[ed.Src], assign[ed.Dst], amounts[ed.Src])
+			d.InterE[e] = c.interE(assign[ed.Src], assign[ed.Dst], amounts[ed.Src])
 		}
 		plan.Details[h] = d
 		pairs := float64(int64(1) << uint(h))
-		plan.TotalElems += pairs * d.PerPairElems()
+		plan.TotalElems += pairs * plan.PerPairElems(h)
 
 		for l := range shards {
 			shards[l] = shards[l].Apply(assign[l] == comm.DP)

@@ -44,17 +44,19 @@ func HierarchicalInference(m *nn.Model, batch, levels int) (*Plan, error) {
 }
 
 // hierarchicalWith is Hierarchical parameterized by the cost model.
+// Each level's optimum comes from the graph form of Algorithm 1, which
+// for chains is the paper's recurrence unchanged.
 func hierarchicalWith(m *nn.Model, batch, levels int, c costs) (*Plan, error) {
-	shapes, err := prepare(m, batch, levels)
+	shapes, preds, err := prepare(m, batch, levels)
 	if err != nil {
 		return nil, err
 	}
 	nl := len(shapes)
-	plan := &Plan{Model: m.Name, Batch: batch, Levels: make([]Assignment, 0, levels)}
+	plan := &Plan{Model: m.Name, Batch: batch, Levels: make([]Assignment, 0, levels), Edges: EdgesOf(preds)}
 	shards := make([]tensor.Shard, nl)
 	for h := 0; h < levels; h++ {
 		amounts := amountsAt(shapes, shards)
-		_, assign := twoWayWith(amounts, c)
+		_, assign := twoWayGraphWith(amounts, preds, c)
 		plan.Levels = append(plan.Levels, assign)
 		for l := range shards {
 			shards[l] = shards[l].Apply(assign[l] == comm.DP)

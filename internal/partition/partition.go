@@ -51,29 +51,31 @@ func Uniform(layers int, p comm.Parallelism) Assignment {
 	return a
 }
 
+// Edge is one producer→consumer connection between weighted layers of
+// a model graph. A linear chain has edges (l, l+1); branched models add
+// skip and branch edges. Edges from the model input carry no partition
+// cost and are not recorded.
+type Edge struct {
+	Src int // producing layer index
+	Dst int // consuming layer index
+}
+
 // LevelDetail records, for one hierarchy level, the one-direction
 // per-group-pair communication volumes in elements, attributed to the
 // training phase that incurs them. The simulator schedules transfers
-// from these.
+// from these. The intra arrays are indexed by layer; the inter arrays
+// are indexed by edge, parallel to Plan.Edges (for a chain, edge e is
+// (e, e+1), so the historical per-producer-layer indexing carries
+// over unchanged).
 type LevelDetail struct {
 	// IntraFwd[l] is the mp partial-sum exchange of F_{l+1} (forward).
 	IntraFwd []float64
 	// IntraGrad[l] is the dp gradient exchange of ∆W_l (gradient phase).
 	IntraGrad []float64
-	// InterF[l] is the F_{l+1} conversion between l and l+1 (forward).
+	// InterF[e] is the F conversion on edge Edges[e] (forward).
 	InterF []float64
-	// InterE[l] is the E_{l+1} conversion between l and l+1 (backward).
+	// InterE[e] is the E conversion on edge Edges[e] (backward).
 	InterE []float64
-}
-
-// PerPairElems returns the level's total one-direction elements for one
-// group pair.
-func (d *LevelDetail) PerPairElems() float64 {
-	var t float64
-	for l := range d.IntraFwd {
-		t += d.IntraFwd[l] + d.IntraGrad[l] + d.InterF[l] + d.InterE[l]
-	}
-	return t
 }
 
 // Plan is a complete hierarchical partition: one Assignment per level
@@ -85,12 +87,37 @@ type Plan struct {
 	Batch  int
 	Levels []Assignment
 
+	// Edges lists the model's layer-to-layer edges in canonical
+	// (Src, then Dst) order; the per-edge arrays of every LevelDetail
+	// are parallel to it.
+	Edges []Edge
+
 	// Details[h] holds the per-pair volumes of level h.
 	Details []LevelDetail
 
 	// TotalElems is the array-wide one-direction element total:
 	// Σ_h 2^h · perPair(h) — Algorithm 2's com = com_h + 2·com_n.
 	TotalElems float64
+}
+
+// PerPairElems returns level h's total one-direction elements for one
+// group pair. The summation interleaves each layer's intra volumes with
+// its outgoing edges' conversion volumes, which for chains reproduces
+// the historical per-layer addition order exactly.
+func (p *Plan) PerPairElems(h int) float64 {
+	d := &p.Details[h]
+	var t float64
+	e := 0
+	for l := range d.IntraFwd {
+		s := d.IntraFwd[l] + d.IntraGrad[l]
+		for e < len(p.Edges) && p.Edges[e].Src == l {
+			s += d.InterF[e]
+			s += d.InterE[e]
+			e++
+		}
+		t += s
+	}
+	return t
 }
 
 // NumLevels returns the hierarchy depth H.

@@ -352,7 +352,7 @@ func TestLevelMonotonicity(t *testing.T) {
 		p := mustHier(t, m, 256, 4)
 		prev := math.Inf(1)
 		for h := range p.Details {
-			pp := p.Details[h].PerPairElems()
+			pp := p.PerPairElems(h)
 			if pp > prev*(1+1e-9) {
 				t.Errorf("%s: level %d per-pair %g > level %d per-pair %g",
 					m.Name, h, pp, h-1, prev)

@@ -121,7 +121,7 @@ func TestRandomModelsInvariants(t *testing.T) {
 		// (4) Per-pair monotonicity down the hierarchy.
 		prev := math.Inf(1)
 		for h := range hp.Details {
-			pp := hp.Details[h].PerPairElems()
+			pp := hp.PerPairElems(h)
 			if pp > prev*(1+1e-9) {
 				t.Errorf("trial %d: level %d per-pair %g grew from %g", trial, h, pp, prev)
 			}
@@ -155,7 +155,7 @@ func TestRandomAssignmentsEvaluate(t *testing.T) {
 			t.Errorf("trial %d: total %g", trial, p.TotalElems)
 		}
 		for h := range p.Details {
-			if p.Details[h].PerPairElems() < 0 {
+			if p.PerPairElems(h) < 0 {
 				t.Errorf("trial %d level %d: negative per-pair volume", trial, h)
 			}
 		}

@@ -103,11 +103,11 @@ func EvaluateWeighted(m *nn.Model, batch int, levels []Assignment, w Weights) (*
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
-	shapes, err := prepare(m, batch, len(levels))
+	shapes, preds, err := prepare(m, batch, len(levels))
 	if err != nil {
 		return nil, err
 	}
-	return evaluateShapesWith(m, batch, levels, shapes, w.costs())
+	return evaluateShapesWith(m, batch, levels, shapes, EdgesOf(preds), w.costs())
 }
 
 // DataParallelWeighted is the Data Parallelism baseline with volumes

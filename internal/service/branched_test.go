@@ -1,0 +1,138 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	hypar "repro"
+)
+
+// branchedModelJSON is an inline DAG model: a stem forking into two
+// branches that rejoin by channel concat, with a residual add variant
+// exercised through the zoo names.
+const branchedModelJSON = `{"name":"svc-dag","input":{"h":8,"w":8,"c":3},"layers":[` +
+	`{"name":"a","type":"conv","k":3,"pad":1,"cout":4},` +
+	`{"name":"b1","type":"conv","k":1,"cout":2,"inputs":["a"]},` +
+	`{"name":"b2","type":"conv","k":3,"pad":1,"cout":2,"inputs":["a"]},` +
+	`{"name":"c","type":"conv","k":3,"pad":1,"cout":4,"inputs":["b1","b2"]},` +
+	`{"name":"f","type":"fc","cout":10}]}`
+
+// TestBranchedZooByName serves the branched zoo networks by name and
+// matches the library's own evaluation exactly.
+func TestBranchedZooByName(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	for _, name := range []string{"SRES-8", "Incep-2"} {
+		code, body := postJSON(t, ts.URL+"/v1/evaluate", fmt.Sprintf(`{"zoo":%q,"strategy":"hypar"}`, name))
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", name, code, body)
+		}
+		var got evaluateResponse
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		m, err := hypar.ModelByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := hypar.Run(m, hypar.HyPar, hypar.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Stats.StepSeconds != want.Stats.StepSeconds || got.Stats.CommBytes != want.Stats.CommBytes {
+			t.Errorf("%s: service stats differ from library: %+v vs step=%g comm=%g",
+				name, got.Stats, want.Stats.StepSeconds, want.Stats.CommBytes)
+		}
+	}
+}
+
+// TestBranchedInlineModel posts a DAG model JSON through /v1/plan and
+// checks the per-layer assignment covers every layer of the graph.
+func TestBranchedInlineModel(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	code, body := postJSON(t, ts.URL+"/v1/plan",
+		`{"model":`+branchedModelJSON+`,"config":{"batch":16,"levels":2}}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var got planResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Plan.Layers) != 5 {
+		t.Fatalf("plan covers %d layers, want 5: %s", len(got.Plan.Layers), body)
+	}
+	for _, l := range got.Plan.Layers {
+		if len(l.Assign) != 2 {
+			t.Errorf("layer %s assignment %q, want 2 levels", l.Name, l.Assign)
+		}
+	}
+}
+
+// TestBranchedBatch drives branched items — zoo names and an inline DAG
+// model — through /v1/batch and checks every line answers in order,
+// byte-identical to the single-request endpoints.
+func TestBranchedBatch(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	req := `{"items":[` +
+		`{"endpoint":"evaluate","zoo":"SRES-8","strategy":"hypar"},` +
+		`{"endpoint":"evaluate","zoo":"Incep-2","strategy":"hypar"},` +
+		`{"endpoint":"plan","model":` + branchedModelJSON + `}]}`
+	code, body := postJSON(t, ts.URL+"/v1/batch", req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var lines [][]byte
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, append([]byte(nil), sc.Bytes()...))
+	}
+	if len(lines) != 3 {
+		t.Fatalf("batch answered %d lines, want 3: %s", len(lines), body)
+	}
+	singles := []struct{ endpoint, req string }{
+		{"evaluate", `{"zoo":"SRES-8","strategy":"hypar"}`},
+		{"evaluate", `{"zoo":"Incep-2","strategy":"hypar"}`},
+		{"plan", `{"model":` + branchedModelJSON + `}`},
+	}
+	for i, s := range singles {
+		_, want := postJSON(t, ts.URL+"/v1/"+s.endpoint, s.req)
+		if !bytes.Equal(bytes.TrimRight(want, "\n"), lines[i]) {
+			t.Errorf("batch line %d differs from single %s request:\n%s\n%s", i, s.endpoint, lines[i], want)
+		}
+	}
+}
+
+// TestBranchedRequestHashDistinct proves graph wiring is part of the
+// request hash: the same layers with different skip targets (or joins)
+// must not coalesce onto one cache entry.
+func TestBranchedRequestHashDistinct(t *testing.T) {
+	addJSON := `{"name":"svc-dag2","input":{"h":8,"w":8,"c":3},"layers":[` +
+		`{"name":"a","type":"conv","k":3,"pad":1,"cout":4},` +
+		`{"name":"b1","type":"conv","k":3,"pad":1,"cout":4,"inputs":["a"]},` +
+		`{"name":"b2","type":"conv","k":3,"pad":1,"cout":4,"inputs":["a"]},` +
+		`{"name":"c","type":"conv","k":3,"pad":1,"cout":4,"inputs":["b1","b2"],"join":"add"},` +
+		`{"name":"f","type":"fc","cout":10}]}`
+	concatJSON := `{"name":"svc-dag2","input":{"h":8,"w":8,"c":3},"layers":[` +
+		`{"name":"a","type":"conv","k":3,"pad":1,"cout":4},` +
+		`{"name":"b1","type":"conv","k":3,"pad":1,"cout":4,"inputs":["a"]},` +
+		`{"name":"b2","type":"conv","k":3,"pad":1,"cout":4,"inputs":["a"]},` +
+		`{"name":"c","type":"conv","k":3,"pad":1,"cout":4,"inputs":["b1","b2"]},` +
+		`{"name":"f","type":"fc","cout":10}]}`
+	_, ts, computes := newTestServer(t)
+	code1, body1 := postJSON(t, ts.URL+"/v1/evaluate", `{"model":`+addJSON+`}`)
+	code2, body2 := postJSON(t, ts.URL+"/v1/evaluate", `{"model":`+concatJSON+`}`)
+	if code1 != http.StatusOK || code2 != http.StatusOK {
+		t.Fatalf("status %d / %d: %s %s", code1, code2, body1, body2)
+	}
+	if computes.Load() != 2 {
+		t.Errorf("add vs concat joins coalesced: %d computes, want 2", computes.Load())
+	}
+	if bytes.Equal(body1, body2) {
+		t.Error("add and concat joins returned identical responses")
+	}
+}

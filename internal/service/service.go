@@ -283,10 +283,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// pinnedZoo looks a zoo model up among the session's pinned instances
-// (nil if unknown).
+// pinnedZoo looks a model up among the session's pinned instances —
+// the paper zoo and the branched workloads — returning nil if unknown.
 func (s *Server) pinnedZoo(name string) *nn.Model {
 	for _, m := range s.session.Zoo() {
+		if m.Name == name {
+			return m
+		}
+	}
+	for _, m := range s.session.Branched() {
 		if m.Name == name {
 			return m
 		}
@@ -323,9 +328,15 @@ type modelCache struct {
 	c *lru.Cache[string, *nn.Model]
 }
 
-// newModelCache builds an intern cache bounded to max models.
+// newModelCache builds an intern cache bounded to max models. Evicting
+// an interned model also drops its shape-cache entries: the shape LRU
+// memoizes per *Model pointer, so a model instance leaving the intern
+// cache can never hit again — its entries are dead weight, the same
+// leak the session cache's eviction hook closes for pinned zoos.
 func newModelCache(max int) *modelCache {
-	return &modelCache{c: lru.New[string, *nn.Model](max)}
+	c := &modelCache{c: lru.New[string, *nn.Model](max)}
+	c.c.SetOnEvict(func(_ string, m *nn.Model) { nn.DropCachedShapes(m) })
+	return c
 }
 
 // intern returns the cached instance for the canonical bytes, storing m

@@ -165,6 +165,10 @@ func simulateOn(eng *Engine, m *nn.Model, plan *partition.Plan, arch Arch) (*Sta
 		return nil, fmt.Errorf("%w: plan is for %d layers, model %q has %d",
 			ErrSim, len(plan.Levels[0]), m.Name, len(shapes))
 	}
+	preds, err := m.LayerPreds()
+	if err != nil {
+		return nil, err
+	}
 	if plan.Model != "" && plan.Model != m.Name {
 		return nil, fmt.Errorf("%w: plan was computed for model %q, not %q",
 			ErrSim, plan.Model, m.Name)
@@ -177,6 +181,7 @@ func simulateOn(eng *Engine, m *nn.Model, plan *partition.Plan, arch Arch) (*Sta
 
 	b := stepBuilder{
 		shapes: shapes,
+		preds:  preds,
 		plan:   plan,
 		arch:   arch,
 		eng:    eng,
@@ -208,6 +213,7 @@ func simulateOn(eng *Engine, m *nn.Model, plan *partition.Plan, arch Arch) (*Sta
 // stepBuilder compiles the step's task graph and accrues energy.
 type stepBuilder struct {
 	shapes []nn.LayerShapes
+	preds  [][]int // resolved layer inputs (-1 = model input)
 	plan   *partition.Plan
 	arch   Arch
 	eng    *Engine
@@ -216,6 +222,13 @@ type stepBuilder struct {
 
 	compute *Resource
 	links   []*Resource
+
+	// edges is the model's layer-to-layer edge list in the canonical
+	// (Src, Dst) order the plan's per-edge volumes are indexed by;
+	// outEdges/inEdges index it per layer.
+	edges    []partition.Edge
+	outEdges [][]int
+	inEdges  [][]int
 
 	// leafShard[l] is layer l's shard state below the whole hierarchy.
 	leafShard []tensor.Shard
@@ -236,6 +249,43 @@ func (b *stepBuilder) build() error {
 	}
 
 	nl := len(b.shapes)
+	// The plan's per-edge conversion volumes are indexed parallel to
+	// its own Edges, so schedule from that order when recorded; plans
+	// without one (hand-built zero-level plans) derive the canonical
+	// order from the model.
+	b.edges = b.plan.Edges
+	if b.edges == nil {
+		b.edges = partition.EdgesOf(b.preds)
+	} else {
+		// The recorded edge set must be exactly the model's (any order):
+		// per-edge volumes attached to wiring the model does not have
+		// would silently charge conversions on the wrong edges.
+		want := partition.EdgesOf(b.preds)
+		if len(b.edges) != len(want) {
+			return fmt.Errorf("%w: plan records %d edges, model has %d",
+				ErrSim, len(b.edges), len(want))
+		}
+		set := make(map[partition.Edge]bool, len(want))
+		for _, ed := range want {
+			set[ed] = true
+		}
+		for _, ed := range b.edges {
+			if !set[ed] {
+				return fmt.Errorf("%w: plan edge %v is not an edge of model %q", ErrSim, ed, b.plan.Model)
+			}
+			delete(set, ed)
+		}
+	}
+	b.outEdges = make([][]int, nl)
+	b.inEdges = make([][]int, nl)
+	for e, ed := range b.edges {
+		if ed.Src < 0 || ed.Src >= nl || ed.Dst <= ed.Src || ed.Dst >= nl {
+			return fmt.Errorf("%w: plan edge %v out of range for %d layers", ErrSim, ed, nl)
+		}
+		b.outEdges[ed.Src] = append(b.outEdges[ed.Src], e)
+		b.inEdges[ed.Dst] = append(b.inEdges[ed.Dst], e)
+	}
+
 	b.leafShard = make([]tensor.Shard, nl)
 	for l := 0; l < nl; l++ {
 		for h := 0; h < levels; h++ {
@@ -275,6 +325,16 @@ func (b *stepBuilder) taskName(prefix string, l int) string {
 		return ""
 	}
 	return prefix + "/" + b.shapes[l].Layer.Name
+}
+
+// edgeTaskName formats "prefix/src->dst" for per-edge transfers, so a
+// fork's parallel conversion chains stay distinguishable in traces.
+func (b *stepBuilder) edgeTaskName(prefix string, e int) string {
+	if !b.named {
+		return ""
+	}
+	ed := b.edges[e]
+	return prefix + "/" + b.shapes[ed.Src].Layer.Name + "->" + b.shapes[ed.Dst].Layer.Name
 }
 
 // phaseTask adds one compute+DRAM task for a phase of a layer and
@@ -368,15 +428,42 @@ func (b *stepBuilder) transferChain(name string, vols func(h int) float64, prev 
 	return prev, nil
 }
 
-// buildForward builds the forward sweep and returns its final task.
-func (b *stepBuilder) buildForward() (*Task, error) {
-	var prev *Task
-	for l := range b.shapes {
-		deps := []*Task{}
-		if prev != nil {
-			deps = append(deps, prev)
+// dedupeDeps drops nil and repeated tasks, preserving order.
+func dedupeDeps(deps []*Task) []*Task {
+	out := make([]*Task, 0, len(deps))
+	for _, d := range deps {
+		if d == nil {
+			continue
 		}
-		ct, err := b.phaseTask(b.taskName("fwd", l), l, nn.Forward, deps...)
+		dup := false
+		for _, e := range out {
+			if e == d {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// buildForward builds the forward sweep in topological (declaration)
+// order and returns its final task. Each layer's compute waits for the
+// F conversions of every incoming edge; a fork's duplicated feature map
+// yields one conversion chain per outgoing edge, all branching off the
+// producer's partial-sum exchange. For a chain this reproduces the
+// historical linear sweep task for task.
+func (b *stepBuilder) buildForward() (*Task, error) {
+	convTail := make([]*Task, len(b.edges))
+	var last *Task
+	for l := range b.shapes {
+		deps := make([]*Task, 0, len(b.inEdges[l]))
+		for _, e := range b.inEdges[l] {
+			deps = append(deps, convTail[e])
+		}
+		ct, err := b.phaseTask(b.taskName("fwd", l), l, nn.Forward, dedupeDeps(deps)...)
 		if err != nil {
 			return nil, err
 		}
@@ -386,29 +473,52 @@ func (b *stepBuilder) buildForward() (*Task, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Inter-layer F conversion toward layer l+1.
-		t, err = b.transferChain(b.taskName("fwd-conv", l),
-			func(h int) float64 { return b.plan.Details[h].InterF[l] }, t)
-		if err != nil {
-			return nil, err
+		// Inter-layer F conversion along every outgoing edge.
+		for _, e := range b.outEdges[l] {
+			e := e
+			et, err := b.transferChain(b.edgeTaskName("fwd-conv", e),
+				func(h int) float64 { return b.plan.Details[h].InterF[e] }, t)
+			if err != nil {
+				return nil, err
+			}
+			convTail[e] = et
 		}
-		prev = t
+		if len(b.outEdges[l]) == 0 {
+			// The sink: its post-exchange output feeds the loss.
+			last = t
+		}
 	}
-	return prev, nil
+	return last, nil
 }
 
-// buildBackwardGradient builds the backward sweep. In the default
-// phase-serial schedule each layer runs gradient compute, gradient
-// exchange, backward compute and E conversion in order before the next
-// layer starts — matching the paper's per-layer execution. With
+// buildBackwardGradient builds the backward sweep in reverse
+// topological order. A layer's output error is ready once every
+// consumer has run its backward compute and pushed the E conversion of
+// the connecting edge — a fork's skip tensor therefore joins error
+// contributions from every consumer edge before the producer's
+// gradient and backward phases run. In the default phase-serial
+// schedule each layer runs gradient compute, gradient exchange,
+// backward compute and E conversions in order before the next layer
+// starts — matching the paper's per-layer execution. With
 // OverlapGradComm, gradient work branches off the sweep and contends
-// only for the compute and link resources.
+// only for the compute and link resources. For a chain this reproduces
+// the historical linear sweep task for task.
 func (b *stepBuilder) buildBackwardGradient(fwdDone *Task) error {
 	nl := len(b.shapes)
-	prev := fwdDone // E_L comes out of the loss right after forward
+	errTail := make([]*Task, len(b.edges))
+	prev := fwdDone // the sink's E comes out of the loss right after forward
 	for l := nl - 1; l >= 0; l-- {
-		// Gradient for layer l consumes E_{l+1}, available in prev.
-		gt, err := b.phaseTask(b.taskName("grad", l), l, nn.Gradient, prev)
+		// The layer's output error: the loss for the sink, otherwise the
+		// E conversions of every outgoing edge.
+		errDeps := make([]*Task, 0, len(b.outEdges[l])+1)
+		errDeps = append(errDeps, prev)
+		for _, e := range b.outEdges[l] {
+			errDeps = append(errDeps, errTail[e])
+		}
+		errDeps = dedupeDeps(errDeps)
+
+		// Gradient for layer l consumes the layer's output error.
+		gt, err := b.phaseTask(b.taskName("grad", l), l, nn.Gradient, errDeps...)
 		if err != nil {
 			return err
 		}
@@ -421,19 +531,26 @@ func (b *stepBuilder) buildBackwardGradient(fwdDone *Task) error {
 		if !b.arch.OverlapGradComm {
 			prev = gTail
 		}
-		if l == 0 {
-			// E_0 is never consumed: no backward compute for layer 0.
-			break
+		if len(b.inEdges[l]) == 0 {
+			// Only the model input feeds this layer: its input error is
+			// never consumed, so there is no backward compute.
+			continue
 		}
-		ct, err := b.phaseTask(b.taskName("bwd", l), l, nn.Backward, prev)
+		bdeps := dedupeDeps(append([]*Task{prev}, errDeps...))
+		ct, err := b.phaseTask(b.taskName("bwd", l), l, nn.Backward, bdeps...)
 		if err != nil {
 			return err
 		}
-		// Inter-layer E conversion across the l-1 / l boundary.
-		t, err := b.transferChain(b.taskName("bwd-conv", l),
-			func(h int) float64 { return b.plan.Details[h].InterE[l-1] }, ct)
-		if err != nil {
-			return err
+		// Inter-layer E conversion along every incoming edge.
+		t := ct
+		for _, e := range b.inEdges[l] {
+			e := e
+			t, err = b.transferChain(b.edgeTaskName("bwd-conv", e),
+				func(h int) float64 { return b.plan.Details[h].InterE[e] }, t)
+			if err != nil {
+				return err
+			}
+			errTail[e] = t
 		}
 		prev = t
 	}

@@ -32,11 +32,17 @@ type Network struct {
 }
 
 // NewNetwork allocates and He-initializes a network for the model at
-// the given batch size.
+// the given batch size. The numeric substrate executes layers as a
+// chain, so genuinely branched (DAG) models are rejected here rather
+// than silently trained with the wrong data flow; graph-form models
+// whose wiring resolves to a plain chain are fine.
 func NewNetwork(m *nn.Model, batch int, seed int64) (*Network, error) {
 	shapes, err := m.Shapes(batch)
 	if err != nil {
 		return nil, err
+	}
+	if !m.LinearChain() {
+		return nil, fmt.Errorf("%w: model %q is a branched graph; the numeric trainer handles chains only", ErrTrain, m.Name)
 	}
 	r := newRNG(seed)
 	net := &Network{Model: m, Batch: batch, shapes: shapes}

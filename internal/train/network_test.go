@@ -311,3 +311,24 @@ func TestLenetTrains(t *testing.T) {
 		t.Errorf("implausible initial loss %g", loss)
 	}
 }
+
+// TestNewNetworkGraphModels pins the chain gate: genuinely branched
+// models are rejected, but a graph-form model whose explicit inputs
+// resolve to the plain chain trains fine.
+func TestNewNetworkGraphModels(t *testing.T) {
+	branched := nn.Incep2()
+	if _, err := NewNetwork(branched, 2, 1); err == nil {
+		t.Error("branched model accepted by the chain-only trainer")
+	}
+	explicitChain := &nn.Model{
+		Name:  "explicit-chain",
+		Input: nn.Input{H: 1, W: 1, C: 4},
+		Layers: []nn.Layer{
+			{Name: "fc1", Type: nn.FC, Cout: 8, Act: nn.ReLU, Inputs: []string{"input"}},
+			{Name: "fc2", Type: nn.FC, Cout: 4, Act: nn.Softmax, Inputs: []string{"fc1"}},
+		},
+	}
+	if _, err := NewNetwork(explicitChain, 2, 1); err != nil {
+		t.Errorf("explicit-chain model rejected: %v", err)
+	}
+}

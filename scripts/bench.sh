@@ -15,6 +15,8 @@
 #   service.batch_*.itemsPerSec vs the single-request rps above
 #                               (amortized round trips + intra-batch
 #                               dedupe: the /v1/batch leverage)
+#   service.branched.rps        branched (DAG) workloads: the graph
+#                               partition search + DAG simulation path
 #
 # BENCHTIME overrides the per-benchmark iteration count (default 10x;
 # use a duration like 1s for lower variance on quiet machines).
@@ -48,6 +50,7 @@ service_hot="null"
 service_mixed="null"
 service_batch_hot="null"
 service_batch_mixed="null"
+service_branched="null"
 daemon_pid=""
 if [ "${SKIP_SERVICE:-0}" != "1" ]; then
 	tmpdir="$(mktemp -d)"
@@ -70,6 +73,9 @@ if [ "${SKIP_SERVICE:-0}" != "1" ]; then
 	echo "service throughput (batched, mixed items: 300 x 16-item /v1/batch):"
 	service_batch_mixed="$("$tmpdir/loadgen" -addr "127.0.0.1:${port}" -mode mixed -batch 16 -requests 300 -concurrency 8)"
 	echo "$service_batch_mixed"
+	echo "service throughput (branched DAG workloads):"
+	service_branched="$("$tmpdir/loadgen" -addr "127.0.0.1:${port}" -mode branched -requests 300 -concurrency 8)"
+	echo "$service_branched"
 
 	kill "$daemon_pid" 2>/dev/null || true
 	wait "$daemon_pid" 2>/dev/null || true
@@ -78,7 +84,7 @@ fi
 
 {
 	printf '{\n'
-	printf '  "schema": "bench-v3",\n'
+	printf '  "schema": "bench-v4",\n'
 	printf '  "go": "%s",\n' "$(go env GOVERSION)"
 	printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
 	printf '  "benchtime": "%s",\n' "$benchtime"
@@ -89,7 +95,8 @@ fi
 	printf '    "hot": %s,\n' "$service_hot"
 	printf '    "mixed": %s,\n' "$service_mixed"
 	printf '    "batch_hot": %s,\n' "$service_batch_hot"
-	printf '    "batch_mixed": %s\n' "$service_batch_mixed"
+	printf '    "batch_mixed": %s,\n' "$service_batch_mixed"
+	printf '    "branched": %s\n' "$service_branched"
 	printf '  }\n'
 	printf '}\n'
 } >"$out"

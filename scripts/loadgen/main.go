@@ -5,11 +5,15 @@
 //
 // Modes:
 //
-//	-mode hot    every request identical (exercises coalescing + cache:
-//	             steady state is pure byte replay)
-//	-mode mixed  cycles zoo models × strategies × batch sizes
-//	             (exercises the evaluator itself; mostly cache misses
-//	             until the cycle wraps)
+//	-mode hot      every request identical (exercises coalescing +
+//	               cache: steady state is pure byte replay)
+//	-mode mixed    cycles zoo models × strategies × batch sizes
+//	               (exercises the evaluator itself; mostly cache misses
+//	               until the cycle wraps)
+//	-mode branched cycles the branched (DAG) workloads — the SRES-8 and
+//	               Incep-2 zoo names plus an inline fork/join model
+//	               JSON — across strategies and batch sizes (exercises
+//	               the graph partition search and DAG simulation)
 //
 // -batch N wraps N of the mode's bodies into one /v1/batch request per
 // POST (the same global item sequence the single-request run would
@@ -65,10 +69,32 @@ var zooNames = []string{"SFC", "SCONV", "Lenet-c", "Cifar-c", "AlexNet", "VGG-A"
 
 var strategies = []string{"hypar", "dp", "mp", "trick"}
 
+// branchedNames are the DAG workload zoo names; the empty sentinel
+// selects the inline graph model below.
+var branchedNames = []string{"SRES-8", "Incep-2", ""}
+
+// branchedModel is an inline fork/concat-join model, kept literal like
+// zooNames so loadgen stays daemon-agnostic.
+const branchedModel = `{"name":"lg-dag","input":{"h":16,"w":16,"c":3},"layers":[` +
+	`{"name":"a","type":"conv","k":3,"pad":1,"cout":8,"pool":2},` +
+	`{"name":"b1","type":"conv","k":1,"cout":8,"inputs":["a"]},` +
+	`{"name":"b2","type":"conv","k":3,"pad":1,"cout":8,"inputs":["a"]},` +
+	`{"name":"c","type":"conv","k":3,"pad":1,"cout":16,"inputs":["b1","b2"],"join":"add"},` +
+	`{"name":"f","type":"fc","cout":10}]}`
+
 // body renders the i-th request body for the mode.
 func body(mode string, i int) string {
-	if mode == "hot" {
+	switch mode {
+	case "hot":
 		return `{"zoo":"VGG-A","strategy":"hypar"}`
+	case "branched":
+		name := branchedNames[i%len(branchedNames)]
+		strat := strategies[(i/len(branchedNames))%len(strategies)]
+		batch := 64 << uint((i/(len(branchedNames)*len(strategies)))%3) // 64, 128, 256
+		if name == "" {
+			return fmt.Sprintf(`{"model":%s,"strategy":%q,"config":{"batch":%d}}`, branchedModel, strat, batch)
+		}
+		return fmt.Sprintf(`{"zoo":%q,"strategy":%q,"config":{"batch":%d}}`, name, strat, batch)
 	}
 	name := zooNames[i%len(zooNames)]
 	strat := strategies[(i/len(zooNames))%len(strategies)]
@@ -98,7 +124,7 @@ func main() {
 		n       = flag.Int("requests", 200, "total requests")
 		batch   = flag.Int("batch", 0, "items per request through /v1/batch (0 = single requests)")
 		conc    = flag.Int("concurrency", 8, "concurrent clients")
-		mode    = flag.String("mode", "hot", "hot | mixed")
+		mode    = flag.String("mode", "hot", "hot | mixed | branched")
 		wait    = flag.Duration("wait", 15*time.Second, "wait for /healthz before starting")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	)
