@@ -56,7 +56,7 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("hypar", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
-		experiment = fs.String("experiment", "", "regenerate a paper artifact: fig5..fig13, platforms, branched, ablations, all")
+		experiment = fs.String("experiment", "", "regenerate a paper artifact: fig5..fig13, platforms, branched, degraded, ablations, all")
 		model      = fs.String("model", "", "zoo or branched model to plan/simulate (e.g. VGG-A, SRES-8); see -list")
 		strategy   = fs.String("strategy", "hypar", "hypar | dp | mp | trick")
 		planOnly   = fs.Bool("plan", false, "print the partition without simulating")
@@ -69,6 +69,7 @@ func run(args []string, w io.Writer) error {
 		topology   = fs.String("topology", "", "htree | torus | ideal (default: the platform's native fabric)")
 		link       = fs.Float64("link", 0, "NoC link bandwidth, Mb/s (default: the platform's native rate)")
 		overlap    = fs.Bool("overlap", false, "overlap gradient communication (ablation)")
+		faults     = fs.String("faults", "", `degraded array: failed groups as "level:groups", e.g. 1:2`)
 		remote     = fs.String("remote", "", "hypard base URL: evaluate -model (comma-separated list) via the daemon's /v1/batch instead of in-process")
 		traceFile  = fs.String("trace", "", "write a Chrome trace of the simulated step to this file")
 		parallel   = fs.Bool("parallel", true, "fan experiment sweeps out over all CPUs")
@@ -93,6 +94,13 @@ func run(args []string, w io.Writer) error {
 	cfg := hypar.Config{
 		Batch: *batch, Levels: *levels, Platform: *plat, Topology: *topology,
 		LinkMbps: *link, OverlapGradComm: *overlap,
+	}
+	if *faults != "" {
+		f, err := hypar.ParseFaults(*faults)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = f
 	}
 	// Resolve the platform's native topology/link defaults up front so
 	// every printout shows the explicit configuration.
@@ -235,7 +243,7 @@ func runModel(name, strategyName string, planOnly bool, traceFile string, cfg hy
 		return err
 	}
 	pt := report.NewTable(fmt.Sprintf("%s / %s: parallelism per layer (H1..H%d, 0=dp 1=mp)",
-		m.Name, strat, cfg.Levels), "layer", "levels")
+		m.Name, strat, cfg.EffectiveLevels()), "layer", "levels")
 	for l, layer := range m.Layers {
 		if err := pt.AddRow(layer.Name, plan.LayerString(l)); err != nil {
 			return err
@@ -283,6 +291,10 @@ func runModel(name, strategyName string, planOnly bool, traceFile string, cfg hy
 	}
 	if err := emit(st); err != nil {
 		return err
+	}
+	if !cfg.Faults.IsZero() {
+		fmt.Fprintf(w, "degraded array: fault %v leaves %d of %d accelerators (planning at depth %d)\n",
+			cfg.Faults, cfg.SurvivingAccelerators(), 1<<uint(cfg.Levels), cfg.EffectiveLevels())
 	}
 	_, err = fmt.Fprintf(w, "accelerators: %d, platform: %s, topology: %s, batch: %d\n",
 		plan.NumAccelerators(), cfg.Platform, cfg.Topology, cfg.Batch)
@@ -362,6 +374,7 @@ func runExperiments(which string, cfg hypar.Config, emit func(*report.Table) err
 		"fig13":     s.Fig13,
 		"platforms": s.PlatformTable,
 		"branched":  s.BranchedTable,
+		"degraded":  s.DegradedTable,
 	}
 	ablations := []run{
 		func() (*report.Table, error) { return s.AblationDepth(6, "VGG-A") },
@@ -382,7 +395,7 @@ func runExperiments(which string, cfg hypar.Config, emit func(*report.Table) err
 
 	switch which {
 	case "all":
-		for _, k := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "platforms", "branched"} {
+		for _, k := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "platforms", "branched", "degraded"} {
 			if err := runOne(runners[k]); err != nil {
 				return fmt.Errorf("%s: %w", k, err)
 			}
@@ -403,7 +416,7 @@ func runExperiments(which string, cfg hypar.Config, emit func(*report.Table) err
 	default:
 		r, ok := runners[which]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (fig5..fig13, platforms, branched, ablations, all)", which)
+			return fmt.Errorf("unknown experiment %q (fig5..fig13, platforms, branched, degraded, ablations, all)", which)
 		}
 		return runOne(r)
 	}

@@ -1,17 +1,22 @@
 // Command hypard serves the HyPar evaluation library over HTTP/JSON: a
 // long-running daemon exposing planning (/v1/plan), simulation
-// (/v1/evaluate), strategy comparison (/v1/compare), streamed
-// parallelism-space sweeps (/v1/explore NDJSON), batched evaluation
-// (/v1/batch) and asynchronous sweep jobs (/v1/jobs), with request
-// coalescing, a sharded bounded result cache and a config-keyed
-// session cache in front of one shared evaluator. See docs/API.md for
-// the request schema and curl examples.
+// (/v1/evaluate), strategy comparison (/v1/compare), degraded-array
+// replanning (/v1/degrade), streamed parallelism-space sweeps
+// (/v1/explore NDJSON), batched evaluation (/v1/batch) and
+// asynchronous sweep jobs (/v1/jobs), with request coalescing, a
+// sharded bounded result cache and a config-keyed session cache in
+// front of one shared evaluator. Per-request deadlines (-timeout) and
+// admission control (-inflight) keep an overloaded daemon responsive:
+// shed work answers 429/503 with Retry-After, exceeded deadlines
+// answer 504. See docs/API.md for the request schema, the error
+// semantics and curl examples.
 //
 // Usage:
 //
 //	hypard -addr :8080
 //	hypard -addr :8080 -workers 4 -cache 512 -batch 256 -levels 4
 //	hypard -addr :8080 -jobs 128 -sessions 64
+//	hypard -addr :8080 -timeout 30s -inflight 64
 //
 // SIGINT/SIGTERM drain in-flight requests — NDJSON streams and async
 // jobs included — and exit cleanly.
@@ -59,21 +64,35 @@ func run(args []string, w io.Writer, ready func(addr string, stop func())) error
 		plat     = fs.String("platform", "hmc", "default platform: hmc | gpu-hbm | tpu-systolic")
 		topology = fs.String("topology", "", "default topology: htree | torus | ideal (empty: the platform's native fabric)")
 		link     = fs.Float64("link", 0, "default NoC link bandwidth, Mb/s (0: the platform's native rate)")
+		faults   = fs.String("faults", "", `default degraded-array fault spec, "level:groups" (e.g. 1:2)`)
+		timeout  = fs.Duration("timeout", 0, "per-request evaluation deadline (0 = none); exceeded requests answer 504")
+		inflight = fs.Int("inflight", 0, "max concurrent evaluations before shedding 429 (0 = 8x pool width, negative = unlimited)")
 		drain    = fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	cfg := hypar.Config{
+		Batch: *batch, Levels: *levels, Platform: *plat, Topology: *topology, LinkMbps: *link,
+	}
+	if *faults != "" {
+		f, err := hypar.ParseFaults(*faults)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = f
+	}
+
 	pool := runner.New(*workers)
 	srv, err := service.New(service.Options{
-		Config: hypar.Config{
-			Batch: *batch, Levels: *levels, Platform: *plat, Topology: *topology, LinkMbps: *link,
-		},
+		Config:         cfg,
 		Pool:           pool,
 		CacheEntries:   *cache,
 		SessionEntries: *sessions,
 		JobEntries:     *jobs,
+		RequestTimeout: *timeout,
+		MaxInflight:    *inflight,
 	})
 	if err != nil {
 		return err

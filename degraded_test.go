@@ -1,0 +1,176 @@
+package hypar_test
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	hypar "repro"
+)
+
+func TestFaultsValidate(t *testing.T) {
+	base := hypar.DefaultConfig() // levels = 4
+	cases := []struct {
+		name   string
+		faults hypar.Faults
+		ok     bool
+	}{
+		{"zero", hypar.Faults{}, true},
+		{"one level-1 group", hypar.Faults{Level: 1, Groups: 1}, true},
+		{"two level-1 groups", hypar.Faults{Level: 1, Groups: 2}, true},
+		{"leaf fault", hypar.Faults{Level: 3, Groups: 1}, true},
+		{"negative groups", hypar.Faults{Level: 1, Groups: -1}, false},
+		{"negative level", hypar.Faults{Level: -1, Groups: 1}, false},
+		{"level beyond hierarchy", hypar.Faults{Level: 4, Groups: 1}, false},
+		{"whole array gone", hypar.Faults{Level: 1, Groups: 4}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := base
+			c.Faults = tc.faults
+			err := c.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate() = %v, want nil", err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatal("Validate() = nil, want error")
+				}
+				if !errors.Is(err, hypar.ErrConfig) {
+					t.Fatalf("Validate() = %v, want ErrConfig", err)
+				}
+			}
+		})
+	}
+}
+
+func TestDegradedTopologyMath(t *testing.T) {
+	cases := []struct {
+		faults    hypar.Faults
+		failed    int
+		survivors int
+		levels    int
+	}{
+		{hypar.Faults{}, 0, 16, 4},
+		// A level-1 group holds 2^(4-1-1) = 4 accelerators.
+		{hypar.Faults{Level: 1, Groups: 1}, 4, 12, 3},
+		{hypar.Faults{Level: 1, Groups: 2}, 8, 8, 3},
+		{hypar.Faults{Level: 1, Groups: 3}, 12, 4, 2},
+		// A leaf (level-3) group is one accelerator.
+		{hypar.Faults{Level: 3, Groups: 1}, 1, 15, 3},
+		{hypar.Faults{Level: 0, Groups: 1}, 8, 8, 3},
+	}
+	for _, tc := range cases {
+		c := hypar.DefaultConfig()
+		c.Faults = tc.faults
+		if got := c.FailedAccelerators(); got != tc.failed {
+			t.Errorf("%v: FailedAccelerators() = %d, want %d", tc.faults, got, tc.failed)
+		}
+		if got := c.SurvivingAccelerators(); got != tc.survivors {
+			t.Errorf("%v: SurvivingAccelerators() = %d, want %d", tc.faults, got, tc.survivors)
+		}
+		if got := c.EffectiveLevels(); got != tc.levels {
+			t.Errorf("%v: EffectiveLevels() = %d, want %d", tc.faults, got, tc.levels)
+		}
+	}
+}
+
+// TestFaultsJSONStability pins the wire contract the caches and goldens
+// depend on: a config without faults marshals without any "faults" key
+// (byte-identical to pre-fault-aware builds), and a config with faults
+// round-trips.
+func TestFaultsJSONStability(t *testing.T) {
+	b, err := json.Marshal(hypar.DefaultConfig().Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "faults") {
+		t.Fatalf("zero-fault config marshals a faults key: %s", b)
+	}
+
+	c := hypar.DefaultConfig()
+	c.Faults = hypar.Faults{Level: 1, Groups: 2}
+	b, err = json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"faults":{"level":1,"groups":2}`) {
+		t.Fatalf("faulted config JSON missing fault spec: %s", b)
+	}
+	var back hypar.Config
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Faults != c.Faults {
+		t.Fatalf("faults did not round-trip: got %v, want %v", back.Faults, c.Faults)
+	}
+}
+
+func TestParseFaults(t *testing.T) {
+	f, err := hypar.ParseFaults("1:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != (hypar.Faults{Level: 1, Groups: 2}) {
+		t.Fatalf("ParseFaults(1:2) = %v", f)
+	}
+	if f.String() != "1:2" {
+		t.Fatalf("String() = %q, want 1:2", f.String())
+	}
+	if f, err := hypar.ParseFaults(""); err != nil || !f.IsZero() {
+		t.Fatalf("ParseFaults(\"\") = %v, %v; want zero, nil", f, err)
+	}
+	for _, bad := range []string{"1", "x:2", "1:y", "1:2:3"} {
+		if _, err := hypar.ParseFaults(bad); !errors.Is(err, hypar.ErrConfig) {
+			t.Errorf("ParseFaults(%q) = %v, want ErrConfig", bad, err)
+		}
+	}
+}
+
+// TestDegradedPlanShrinks checks that a faulted config plans over the
+// surviving sub-array: the plan's accelerator count matches the
+// degraded depth, not the healthy one.
+func TestDegradedPlanShrinks(t *testing.T) {
+	m, err := hypar.ModelByName("AlexNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := hypar.DefaultConfig()
+	c.Faults = hypar.Faults{Level: 1, Groups: 2}
+	plan, err := hypar.NewPlan(m, hypar.HyPar, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumAccelerators() != 8 {
+		t.Fatalf("degraded plan spans %d accelerators, want 8", plan.NumAccelerators())
+	}
+}
+
+func TestCompareDegraded(t *testing.T) {
+	m, err := hypar.ModelByName("AlexNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := hypar.DefaultConfig()
+
+	if _, err := hypar.CompareDegraded(m, c); !errors.Is(err, hypar.ErrConfig) {
+		t.Fatalf("CompareDegraded without faults = %v, want ErrConfig", err)
+	}
+
+	c.Faults = hypar.Faults{Level: 1, Groups: 2}
+	d, err := hypar.CompareDegraded(m, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Accelerators != 16 || d.Survivors != 8 || d.DegradedLevels != 3 {
+		t.Fatalf("topology = %d/%d at depth %d, want 16/8 at 3",
+			d.Accelerators, d.Survivors, d.DegradedLevels)
+	}
+	// Half the array cannot train faster: every strategy must slow down.
+	for _, st := range hypar.Strategies {
+		if s := d.Slowdown(st); s <= 1 {
+			t.Errorf("Slowdown(%v) = %g, want > 1", st, s)
+		}
+	}
+}

@@ -25,9 +25,12 @@
 package hypar
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/bits"
+	"strconv"
 	"strings"
 
 	"repro/internal/nn"
@@ -215,6 +218,51 @@ func (s *Strategy) UnmarshalJSON(data []byte) error {
 // Strategies lists all supported strategies in report order.
 var Strategies = []Strategy{ModelParallel, DataParallel, OneWeirdTrick, HyPar}
 
+// Faults describes failed accelerator groups in the array hierarchy:
+// Groups of the 2^(Level+1) sub-trees formed at hierarchy level Level
+// have failed and been fenced off. Each failed group at level h removes
+// 2^(H-h-1) accelerators from the 2^H array; planning and simulation
+// then run over the largest power-of-two sub-array the survivors can
+// host (see Config.EffectiveLevels). The zero value means a healthy
+// array.
+type Faults struct {
+	// Level is the hierarchy level (0-based, root splits first) at
+	// which whole groups have failed.
+	Level int `json:"level"`
+	// Groups is the number of failed groups at Level; zero means no
+	// faults.
+	Groups int `json:"groups"`
+}
+
+// IsZero reports whether the spec describes a healthy array. A zero
+// Faults marshals to nothing under Config's omitzero tag, so healthy
+// configs keep their historical canonical JSON byte for byte.
+func (f Faults) IsZero() bool { return f == Faults{} }
+
+// String renders the spec in the CLI's "level:groups" spelling.
+func (f Faults) String() string {
+	return fmt.Sprintf("%d:%d", f.Level, f.Groups)
+}
+
+// ParseFaults parses the CLI spelling "level:groups" (for example
+// "1:2" — two failed groups at hierarchy level 1). The empty string
+// means no faults.
+func ParseFaults(spec string) (Faults, error) {
+	if spec == "" {
+		return Faults{}, nil
+	}
+	lvl, grp, ok := strings.Cut(spec, ":")
+	if !ok {
+		return Faults{}, fmt.Errorf("%w: fault spec %q (want level:groups, e.g. 1:2)", ErrConfig, spec)
+	}
+	l, err1 := strconv.Atoi(strings.TrimSpace(lvl))
+	g, err2 := strconv.Atoi(strings.TrimSpace(grp))
+	if err1 != nil || err2 != nil {
+		return Faults{}, fmt.Errorf("%w: fault spec %q (want level:groups, e.g. 1:2)", ErrConfig, spec)
+	}
+	return Faults{Level: l, Groups: g}, nil
+}
+
 // Config selects the workload and platform parameters.
 type Config struct {
 	// Batch is the mini-batch size (paper default: 256).
@@ -240,6 +288,10 @@ type Config struct {
 	// Precision selects the element width: "fp32" (paper default,
 	// empty means fp32), "fp16" or "int8" for precision ablations.
 	Precision string `json:"precision,omitempty"`
+	// Faults marks failed accelerator groups; the zero value (default)
+	// is a healthy array and is omitted from the canonical JSON, so
+	// fault-free configs hash identically to historical ones.
+	Faults Faults `json:"faults,omitzero"`
 }
 
 // Canonical normalizes the configuration to its canonical equivalent:
@@ -309,7 +361,53 @@ func (c Config) Validate() error {
 	if _, err := c.dtype(); err != nil {
 		return err
 	}
+	if !c.Faults.IsZero() {
+		if c.Faults.Groups < 0 {
+			return fmt.Errorf("%w: %d failed groups", ErrConfig, c.Faults.Groups)
+		}
+		if c.Faults.Level < 0 || c.Faults.Level >= c.Levels {
+			return fmt.Errorf("%w: fault level %d outside hierarchy of %d levels",
+				ErrConfig, c.Faults.Level, c.Levels)
+		}
+		if groups := 1 << uint(c.Faults.Level+1); c.Faults.Groups >= groups {
+			return fmt.Errorf("%w: %d failed groups at level %d, but only %d groups exist (the whole array would be gone)",
+				ErrConfig, c.Faults.Groups, c.Faults.Level, groups)
+		}
+	}
 	return nil
+}
+
+// FailedAccelerators returns how many of the 2^Levels accelerators the
+// fault spec removes: each failed group at level h fences off a
+// sub-tree of 2^(Levels-h-1) accelerators.
+func (c Config) FailedAccelerators() int {
+	if c.Faults.IsZero() {
+		return 0
+	}
+	return c.Faults.Groups << uint(c.Levels-c.Faults.Level-1)
+}
+
+// SurvivingAccelerators returns how many accelerators remain healthy
+// under the fault spec (2^Levels for a healthy array).
+func (c Config) SurvivingAccelerators() int {
+	return (1 << uint(c.Levels)) - c.FailedAccelerators()
+}
+
+// EffectiveLevels returns the hierarchy depth planning and simulation
+// actually run at: Levels for a healthy array, and for a degraded one
+// the depth of the largest full power-of-two sub-array the survivors
+// can host (floor(log2(survivors))). The planner replans over that
+// sub-array rather than an irregular topology, matching the paper's
+// 2^H structural assumption.
+func (c Config) EffectiveLevels() int {
+	if c.Faults.IsZero() {
+		return c.Levels
+	}
+	s := c.SurvivingAccelerators()
+	if s <= 1 {
+		return 0
+	}
+	return bits.Len(uint(s)) - 1
 }
 
 // dtype resolves the configured precision.
@@ -353,7 +451,7 @@ func BuildArch(c Config) (Arch, error) {
 	if err != nil {
 		return Arch{}, err
 	}
-	topo, err := p.NewTopology(c.Topology, c.Levels, c.LinkMbps)
+	topo, err := p.NewTopology(c.Topology, c.EffectiveLevels(), c.LinkMbps)
 	if err != nil {
 		return Arch{}, err
 	}
@@ -373,8 +471,17 @@ func BuildArch(c Config) (Arch, error) {
 // NewPlan produces the parallelism assignment for the model under the
 // given strategy and configuration. The partition search and the plan's
 // recorded transfer volumes run under the configured platform's cost
-// weights, so the DP objective and the simulated schedule agree.
+// weights, so the DP objective and the simulated schedule agree. With a
+// fault spec configured, the plan covers the degraded array's
+// EffectiveLevels-deep surviving sub-array.
 func NewPlan(m *Model, s Strategy, c Config) (*Plan, error) {
+	return NewPlanCtx(nil, m, s, c)
+}
+
+// NewPlanCtx is NewPlan with cancellation: the partition search checks
+// ctx between DP layers and inside its enumeration loops, returning
+// ctx.Err() promptly when the context ends. A nil ctx never cancels.
+func NewPlanCtx(ctx context.Context, m *Model, s Strategy, c Config) (*Plan, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -383,15 +490,16 @@ func NewPlan(m *Model, s Strategy, c Config) (*Plan, error) {
 		return nil, err
 	}
 	w := p.PartitionWeights()
+	levels := c.EffectiveLevels()
 	switch s {
 	case HyPar:
-		return partition.HierarchicalWeighted(m, c.Batch, c.Levels, w)
+		return partition.HierarchicalWeightedCtx(ctx, m, c.Batch, levels, w)
 	case DataParallel:
-		return partition.DataParallelWeighted(m, c.Batch, c.Levels, w)
+		return partition.DataParallelWeighted(m, c.Batch, levels, w)
 	case ModelParallel:
-		return partition.ModelParallelWeighted(m, c.Batch, c.Levels, w)
+		return partition.ModelParallelWeighted(m, c.Batch, levels, w)
 	case OneWeirdTrick:
-		return partition.OneWeirdTrickWeighted(m, c.Batch, c.Levels, w)
+		return partition.OneWeirdTrickWeighted(m, c.Batch, levels, w)
 	default:
 		return nil, fmt.Errorf("%w: unknown strategy %v", ErrConfig, s)
 	}
@@ -405,7 +513,7 @@ func NewInferencePlan(m *Model, c Config) (*Plan, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	return partition.HierarchicalInference(m, c.Batch, c.Levels)
+	return partition.HierarchicalInference(m, c.Batch, c.EffectiveLevels())
 }
 
 // Result pairs a plan with its simulated training-step statistics.
@@ -450,7 +558,13 @@ func (e *Evaluator) Arch(c Config) (Arch, error) {
 
 // Run plans and simulates one training step on the reusable engine.
 func (e *Evaluator) Run(m *Model, s Strategy, c Config) (*Result, error) {
-	plan, err := NewPlan(m, s, c)
+	return e.RunCtx(nil, m, s, c)
+}
+
+// RunCtx is Run with cancellation threaded into the partition search
+// (see NewPlanCtx). A nil ctx never cancels.
+func (e *Evaluator) RunCtx(ctx context.Context, m *Model, s Strategy, c Config) (*Result, error) {
+	plan, err := NewPlanCtx(ctx, m, s, c)
 	if err != nil {
 		return nil, err
 	}
@@ -587,4 +701,69 @@ func ComparePlatforms(m *Model, c Config, names ...string) (*PlatformComparison,
 		out.ByPlatform[name] = cmps[i]
 	}
 	return out, nil
+}
+
+// DegradedComparison contrasts one model's strategies on the healthy
+// array against the same array with the configured fault spec applied:
+// the replan-and-report view of losing accelerator groups mid-fleet.
+type DegradedComparison struct {
+	Model string
+	// Faults is the applied fault spec.
+	Faults Faults
+	// Accelerators is the healthy array size (2^Levels).
+	Accelerators int
+	// Survivors is how many accelerators remain under Faults.
+	Survivors int
+	// DegradedLevels is the hierarchy depth the degraded plan runs at
+	// (EffectiveLevels of the faulted config).
+	DegradedLevels int
+	// Healthy holds the strategy comparison on the fault-free array.
+	Healthy *Comparison
+	// Degraded holds the strategy comparison on the surviving sub-array.
+	Degraded *Comparison
+}
+
+// Slowdown returns how much slower the strategy's training step runs on
+// the degraded array than on the healthy one (degraded step time over
+// healthy step time; 0 when either result is missing).
+func (d *DegradedComparison) Slowdown(s Strategy) float64 {
+	h, ok1 := d.Healthy.Results[s]
+	g, ok2 := d.Degraded.Results[s]
+	if !ok1 || !ok2 || h.Stats.StepSeconds == 0 {
+		return 0
+	}
+	return g.Stats.StepSeconds / h.Stats.StepSeconds
+}
+
+// CompareDegraded evaluates every strategy on the healthy array and on
+// the degraded one described by c.Faults (which must be non-zero),
+// fanning both comparisons out over the default runner pool. The
+// healthy side runs the identical config with the fault spec cleared,
+// so the pair isolates exactly the cost of the lost groups.
+func CompareDegraded(m *Model, c Config) (*DegradedComparison, error) {
+	c = c.Canonical()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if c.Faults.IsZero() {
+		return nil, fmt.Errorf("%w: CompareDegraded needs a non-zero fault spec", ErrConfig)
+	}
+	healthy := c
+	healthy.Faults = Faults{}
+	cfgs := []Config{healthy, c}
+	cmps, err := runner.Map(runner.Default(), cfgs, func(_ int, cc Config) (*Comparison, error) {
+		return NewEvaluator().Compare(m, cc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DegradedComparison{
+		Model:          m.Name,
+		Faults:         c.Faults,
+		Accelerators:   1 << uint(c.Levels),
+		Survivors:      c.SurvivingAccelerators(),
+		DegradedLevels: c.EffectiveLevels(),
+		Healthy:        cmps[0],
+		Degraded:       cmps[1],
+	}, nil
 }

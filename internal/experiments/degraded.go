@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	hypar "repro"
+	"repro/internal/report"
+	"repro/internal/runner"
+)
+
+// degradedFaults is the fixed fault scenario the table studies: two of
+// the four level-1 groups lost, which halves the array (a level-1 group
+// holds a quarter of the accelerators). It is the paper hierarchy's
+// worst single-level fault that still leaves a power-of-two sub-array
+// deeper than one accelerator at the default depth.
+var degradedFaults = hypar.Faults{Level: 1, Groups: 2}
+
+// degradedRow is one model's degraded-side evaluation.
+type degradedRow struct {
+	hp *hypar.Result
+	dp *hypar.Result
+}
+
+// DegradedTable reports how the zoo trains after the fixed fault
+// scenario knocks out part of the array: per model, the healthy and
+// degraded HyPar step times, the slowdown between them (how much the
+// fault costs once HyPar replans over the surviving sub-array), HyPar's
+// remaining gain over Data Parallelism on the degraded array, and the
+// degraded plan's mp share and sink-layer choices. The healthy side
+// reuses the session's zoo comparison; the degraded side evaluates
+// HyPar and Data Parallelism at the same config with the fault spec
+// applied. Rows are golden-pinned, so replanning drift cannot pass
+// silently.
+func (s *Session) DegradedTable() (*report.Table, error) {
+	cfg := s.cfg.Canonical()
+	if cfg.Levels < 2 {
+		return nil, fmt.Errorf("%w: degraded table needs levels >= 2 (got %d)", ErrExperiment, cfg.Levels)
+	}
+	dcfg := cfg
+	dcfg.Faults = degradedFaults
+	if err := dcfg.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: degraded config: %v", ErrExperiment, err)
+	}
+
+	cmps, err := s.CompareZoo()
+	if err != nil {
+		return nil, err
+	}
+	zoo := s.Zoo()
+	rows, err := runner.MapWith(s.pool, zoo, hypar.NewEvaluator,
+		func(ev *hypar.Evaluator, _ int, m *hypar.Model) (degradedRow, error) {
+			hp, err := ev.Run(m, hypar.HyPar, dcfg)
+			if err != nil {
+				return degradedRow{}, fmt.Errorf("%w: %s: %v", ErrExperiment, m.Name, err)
+			}
+			dp, err := ev.Run(m, hypar.DataParallel, dcfg)
+			if err != nil {
+				return degradedRow{}, fmt.Errorf("%w: %s: %v", ErrExperiment, m.Name, err)
+			}
+			return degradedRow{hp: hp, dp: dp}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	t := report.NewTable(fmt.Sprintf(
+		"Degraded array: HyPar replanned after fault %v (%d of %d accelerators survive)",
+		degradedFaults, dcfg.SurvivingAccelerators(), 1<<uint(dcfg.Levels)),
+		"model", "healthy-step-s", "degraded-step-s", "slowdown", "degraded-gain", "mp-share", "sink-layer")
+	for i, m := range zoo {
+		healthy := cmps[i].Results[hypar.HyPar]
+		row := rows[i]
+		slowdown := 0.0
+		if healthy.Stats.StepSeconds > 0 {
+			slowdown = row.hp.Stats.StepSeconds / healthy.Stats.StepSeconds
+		}
+		gain := 0.0
+		if row.hp.Stats.StepSeconds > 0 {
+			gain = row.dp.Stats.StepSeconds / row.hp.Stats.StepSeconds
+		}
+		if err := t.AddRow(m.Name,
+			healthy.Stats.StepSeconds,
+			row.hp.Stats.StepSeconds,
+			slowdown,
+			gain,
+			mpShare(row.hp.Plan),
+			row.hp.Plan.LayerString(len(m.Layers)-1),
+		); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// DegradedTable is the one-shot form of Session.DegradedTable.
+func DegradedTable(cfg hypar.Config) (*report.Table, error) {
+	return NewSession(cfg).DegradedTable()
+}

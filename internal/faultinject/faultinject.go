@@ -1,0 +1,154 @@
+// Package faultinject provides deterministic, seed-driven fault
+// injection for the evaluation service's chaos tests: evaluation
+// errors, panics and artificial slowness, decided per (endpoint, key,
+// attempt) by a pure hash so the same seed replays the same fault
+// sequence regardless of goroutine interleaving. The injector plugs
+// into the service behind the same seam the compute counter hook uses
+// (service.Options.FaultHook), so production binaries carry no
+// injection code path at all — a nil hook costs one pointer compare.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+)
+
+// ErrInjected marks an evaluation failure manufactured by the
+// injector; chaos tests assert it stays in-band and never poisons a
+// cache.
+var ErrInjected = errors.New("faultinject: injected failure")
+
+// Config selects what the injector does and how often. Rates are
+// probabilities in [0, 1] evaluated in order error → panic → slow on
+// one uniform draw, so ErrorRate+PanicRate+SlowRate ≤ 1 keeps them
+// disjoint and an all-zero config injects nothing.
+type Config struct {
+	// Seed drives the per-decision hash; the same seed over the same
+	// (endpoint, key, attempt) sequence reproduces the same faults.
+	Seed int64
+	// ErrorRate is the probability an evaluation fails with ErrInjected.
+	ErrorRate float64
+	// PanicRate is the probability an evaluation panics mid-compute.
+	PanicRate float64
+	// SlowRate is the probability an evaluation stalls for Slowness
+	// (honoring context cancellation) before proceeding.
+	SlowRate float64
+	// Slowness is the artificial stall for slow decisions.
+	Slowness time.Duration
+}
+
+// Injector decides faults deterministically from its config and the
+// per-key attempt counter. Safe for concurrent use.
+type Injector struct {
+	mu       sync.Mutex
+	cfg      Config
+	attempts map[string]uint64 // per (endpoint, key) attempt ordinal
+
+	errors int64
+	panics int64
+	slows  int64
+}
+
+// New returns an injector for the config.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, attempts: make(map[string]uint64)}
+}
+
+// SetConfig swaps the active config (attempt counters are kept), so a
+// chaos test can stop or change injection mid-flight.
+func (in *Injector) SetConfig(cfg Config) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.cfg = cfg
+}
+
+// Disable stops all injection while keeping counters and attempt
+// history.
+func (in *Injector) Disable() { in.SetConfig(Config{}) }
+
+// Counts reports how many faults of each kind the injector has
+// inflicted so far (errors, panics, slow stalls).
+func (in *Injector) Counts() (errors, panics, slows int64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.errors, in.panics, in.slows
+}
+
+// decide draws the fault for one attempt. Panics are counted before
+// the panic unwinds.
+func (in *Injector) decide(endpoint, key string) (fault int, slowness time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	ak := endpoint + "\x00" + key
+	attempt := in.attempts[ak]
+	in.attempts[ak] = attempt + 1
+
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d\x00%s\x00%s\x00%d", in.cfg.Seed, endpoint, key, attempt)
+	// FNV's final xor-multiply barely avalanches its last input bytes
+	// (the attempt ordinal), so finish with a splitmix64-style mixer
+	// before drawing; 53 high bits → uniform in [0, 1) with full
+	// float64 precision.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	u := float64(x>>11) / (1 << 53)
+
+	switch {
+	case u < in.cfg.ErrorRate:
+		in.errors++
+		return 1, 0
+	case u < in.cfg.ErrorRate+in.cfg.PanicRate:
+		in.panics++
+		return 2, 0
+	case u < in.cfg.ErrorRate+in.cfg.PanicRate+in.cfg.SlowRate:
+		in.slows++
+		return 3, in.cfg.Slowness
+	}
+	return 0, 0
+}
+
+// Apply inflicts this attempt's fault, if any: it returns ErrInjected
+// (wrapped with the endpoint) for an error decision, panics for a
+// panic decision, and for a slow decision sleeps for the configured
+// Slowness — returning ctx.Err() early if the context ends first. A
+// nil ctx never cancels the stall.
+func (in *Injector) Apply(ctx context.Context, endpoint, key string) error {
+	fault, slowness := in.decide(endpoint, key)
+	switch fault {
+	case 1:
+		return fmt.Errorf("%w: %s evaluation", ErrInjected, endpoint)
+	case 2:
+		panic(fmt.Sprintf("faultinject: injected panic in %s evaluation", endpoint))
+	case 3:
+		if slowness <= 0 {
+			return nil
+		}
+		t := time.NewTimer(slowness)
+		defer t.Stop()
+		var done <-chan struct{}
+		if ctx != nil {
+			done = ctx.Done()
+		}
+		select {
+		case <-t.C:
+			return nil
+		case <-done:
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// Hook adapts the injector to the service's fault-hook seam
+// (service.Options.FaultHook takes exactly this shape).
+func (in *Injector) Hook() func(ctx context.Context, endpoint, key string) error {
+	return in.Apply
+}

@@ -1,0 +1,137 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// record replays one attempt and classifies the outcome.
+func record(in *Injector, endpoint, key string) (fault string) {
+	defer func() {
+		if r := recover(); r != nil {
+			fault = "panic"
+		}
+	}()
+	err := in.Apply(context.Background(), endpoint, key)
+	switch {
+	case err == nil:
+		return "none"
+	case errors.Is(err, ErrInjected):
+		return "error"
+	default:
+		return "other"
+	}
+}
+
+// TestDeterministicReplay is the injector's core contract: the same
+// seed over the same (endpoint, key, attempt) sequence reproduces the
+// same fault decisions, whatever the interleaving was last time.
+func TestDeterministicReplay(t *testing.T) {
+	cfg := Config{Seed: 42, ErrorRate: 0.3, PanicRate: 0.2, SlowRate: 0.2, Slowness: time.Microsecond}
+	keys := []string{"k1", "k2", "k3"}
+	run := func() []string {
+		in := New(cfg)
+		var out []string
+		for attempt := 0; attempt < 40; attempt++ {
+			for _, k := range keys {
+				out = append(out, record(in, "evaluate", k))
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	counts := map[string]int{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between replays: %s vs %s", i, a[i], b[i])
+		}
+		counts[a[i]]++
+	}
+	// With 120 draws at 30/20/50% the law of large numbers guarantees
+	// every observable class appears; a missing class means the decision
+	// hash is broken, not bad luck. (A finished slow stall returns nil,
+	// so it lands in "none".)
+	for _, class := range []string{"none", "error", "panic"} {
+		if counts[class] == 0 {
+			t.Errorf("class %q never drawn in 120 decisions: %v", class, counts)
+		}
+	}
+}
+
+func TestSeedChangesDecisions(t *testing.T) {
+	mk := func(seed int64) string {
+		in := New(Config{Seed: seed, ErrorRate: 0.5})
+		var s string
+		for i := 0; i < 64; i++ {
+			if err := in.Apply(nil, "evaluate", "k"); err != nil {
+				s += "e"
+			} else {
+				s += "."
+			}
+		}
+		return s
+	}
+	if mk(1) == mk(2) {
+		t.Fatal("seeds 1 and 2 produced identical 64-decision sequences")
+	}
+}
+
+func TestRateExtremes(t *testing.T) {
+	always := New(Config{ErrorRate: 1})
+	for i := 0; i < 16; i++ {
+		if err := always.Apply(nil, "evaluate", "k"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("attempt %d: ErrorRate 1 returned %v, want ErrInjected", i, err)
+		}
+	}
+	never := New(Config{})
+	for i := 0; i < 16; i++ {
+		if err := never.Apply(nil, "evaluate", "k"); err != nil {
+			t.Fatalf("attempt %d: zero config injected %v", i, err)
+		}
+	}
+	if e, p, s := always.Counts(); e != 16 || p != 0 || s != 0 {
+		t.Fatalf("Counts() = %d, %d, %d; want 16, 0, 0", e, p, s)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	in := New(Config{PanicRate: 1})
+	if got := record(in, "explore", "k"); got != "panic" {
+		t.Fatalf("PanicRate 1 produced %q, want panic", got)
+	}
+	if _, p, _ := in.Counts(); p != 1 {
+		t.Fatalf("panic count = %d, want 1 (counted before unwinding)", p)
+	}
+}
+
+// TestSlowHonorsContext pins the deadline interaction: a long stall
+// ends promptly when the context does, returning the context's error.
+func TestSlowHonorsContext(t *testing.T) {
+	in := New(Config{SlowRate: 1, Slowness: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	err := in.Apply(ctx, "evaluate", "k")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Apply = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Fatalf("stall outlived its context by %v", elapsed)
+	}
+	if _, _, s := in.Counts(); s != 1 {
+		t.Fatalf("slow count = %d, want 1", s)
+	}
+}
+
+func TestDisableMidFlight(t *testing.T) {
+	in := New(Config{Seed: 7, ErrorRate: 1})
+	if err := in.Apply(nil, "evaluate", "k"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("before Disable: %v", err)
+	}
+	in.Disable()
+	if err := in.Apply(nil, "evaluate", "k"); err != nil {
+		t.Fatalf("after Disable: %v", err)
+	}
+}

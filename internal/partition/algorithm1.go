@@ -1,8 +1,10 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/comm"
 	"repro/internal/nn"
@@ -131,8 +133,54 @@ func AssignmentCostGraph(amounts []comm.LayerAmounts, preds [][]int, a Assignmen
 // graph dynamic program tracks. The state space is 2^frontier per step;
 // real branched networks (residual blocks, inception stems) keep the
 // frontier at 2-3, so 16 is far above anything sane while still
-// bounding the worst case.
+// bounding the worst case (and keeping the uint32 state keys valid).
 const maxGraphFrontier = 16
+
+// ErrTooWide reports a model whose layer graph needs a partition
+// frontier wider than the configured cap: the O(L·2^frontier) dynamic
+// program would blow up, so the request is rejected up front with a
+// typed error. ErrTooWide wraps ErrPlan, so errors.Is matches both.
+var ErrTooWide = fmt.Errorf("%w: partition frontier too wide", ErrPlan)
+
+// frontierCap holds the configured frontier-width cap; zero means the
+// compiled-in maxGraphFrontier.
+var frontierCap atomic.Int32
+
+// FrontierCap returns the effective frontier-width cap the graph
+// dynamic program enforces (maxGraphFrontier by default).
+func FrontierCap() int {
+	if c := frontierCap.Load(); c > 0 {
+		return int(c)
+	}
+	return maxGraphFrontier
+}
+
+// SetFrontierCap lowers (or restores) the frontier-width cap and
+// returns the previous effective value, so services can refuse
+// expensive DAGs earlier than the compiled-in maxGraphFrontier bound.
+// The value is clamped to [1, maxGraphFrontier]; n <= 0 restores the
+// default. Safe for concurrent use.
+func SetFrontierCap(n int) int {
+	prev := FrontierCap()
+	switch {
+	case n <= 0:
+		frontierCap.Store(0)
+	case n > maxGraphFrontier:
+		frontierCap.Store(maxGraphFrontier)
+	default:
+		frontierCap.Store(int32(n))
+	}
+	return prev
+}
+
+// ctxErr reports the context's error, treating a nil context as one
+// that never cancels — the hot loops call this at checkpoints.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
 
 // isChain reports whether the resolved predecessors describe a plain
 // linear chain (layer l consuming exactly layer l-1). One definition
@@ -179,15 +227,21 @@ func frontierWidth(preds [][]int) int {
 // layer-to-layer edge whose endpoints disagree. Chains dispatch to the
 // paper's O(L) recurrence; general DAGs run an exact dynamic program
 // over the set of open edges (the "frontier"), O(L · 2^frontier). A
-// graph needing a frontier wider than maxGraphFrontier is rejected
-// (its state keys would overflow) rather than silently mis-solved.
+// graph needing a frontier wider than FrontierCap is rejected with
+// ErrTooWide rather than silently mis-solved (or left to blow up).
 func TwoWayGraph(amounts []comm.LayerAmounts, preds [][]int) (float64, Assignment, error) {
-	if w := frontierWidth(preds); w > maxGraphFrontier {
+	return TwoWayGraphCtx(nil, amounts, preds)
+}
+
+// TwoWayGraphCtx is TwoWayGraph with cancellation: the frontier DP
+// checks ctx once per layer step and returns ctx.Err() when the context
+// ends. A nil ctx never cancels.
+func TwoWayGraphCtx(ctx context.Context, amounts []comm.LayerAmounts, preds [][]int) (float64, Assignment, error) {
+	if w, lim := frontierWidth(preds), FrontierCap(); w > lim {
 		return 0, nil, fmt.Errorf("%w: graph needs a partition frontier of %d open layers (max %d)",
-			ErrPlan, w, maxGraphFrontier)
+			ErrTooWide, w, lim)
 	}
-	cost, assign := twoWayGraphWith(amounts, preds, trainingCosts)
-	return cost, assign, nil
+	return twoWayGraphWith(ctx, amounts, preds, trainingCosts)
 }
 
 // twoWayGraphWith runs the graph dynamic program under an arbitrary
@@ -199,14 +253,17 @@ func TwoWayGraph(amounts []comm.LayerAmounts, preds [][]int) (float64, Assignmen
 // with layer l's choice charges l's intra cost plus the conversion on
 // every incoming edge; a layer leaves the frontier when its last
 // consumer is processed, minimizing over its bit. Ties keep the more
-// data-parallel assignment, deterministically.
-func twoWayGraphWith(amounts []comm.LayerAmounts, preds [][]int, c costs) (float64, Assignment) {
+// data-parallel assignment, deterministically. The context (nil = never
+// cancels) is checked once per layer step, so a wide-frontier DP
+// returns promptly after cancellation.
+func twoWayGraphWith(ctx context.Context, amounts []comm.LayerAmounts, preds [][]int, c costs) (float64, Assignment, error) {
 	nl := len(amounts)
 	if nl == 0 {
-		return 0, nil
+		return 0, nil, nil
 	}
 	if isChain(preds) {
-		return twoWayWith(amounts, c)
+		cost, assign := twoWayWith(amounts, c)
+		return cost, assign, nil
 	}
 
 	remaining := make([]int, nl) // unprocessed consumers per layer
@@ -231,6 +288,9 @@ func twoWayGraphWith(amounts []comm.LayerAmounts, preds [][]int, c costs) (float
 	states := map[uint32]float64{0: 0}
 
 	for l := 0; l < nl; l++ {
+		if err := ctxErr(ctx); err != nil {
+			return 0, nil, err
+		}
 		pos := make(map[int]int, len(frontier))
 		for i, u := range frontier {
 			pos[u] = i
@@ -333,5 +393,5 @@ func twoWayGraphWith(amounts []comm.LayerAmounts, preds [][]int, c costs) (float
 		}
 		key = mk &^ (uint32(1) << uint(len(steps[l].midFrontier)-1))
 	}
-	return best, assign
+	return best, assign, nil
 }

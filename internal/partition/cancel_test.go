@@ -1,0 +1,167 @@
+package partition
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/nn"
+	"repro/internal/runner"
+	"repro/internal/tensor"
+)
+
+// cancelChain builds an n-layer conv chain whose shapes stay constant,
+// so brute-force enumeration cost scales only with the code space.
+func cancelChain(n int) *nn.Model {
+	m := &nn.Model{Name: fmt.Sprintf("cancel-chain-%d", n), Input: nn.Input{H: 4, W: 4, C: 2}}
+	for i := 0; i < n; i++ {
+		m.Layers = append(m.Layers, nn.Layer{
+			Name: fmt.Sprintf("c%d", i), Type: nn.Conv, K: 3, Pad: 1, Cout: 2, Act: nn.ReLU,
+		})
+	}
+	return m
+}
+
+// cancelFork builds a DAG with branches parallel paths between one
+// producer and one join — frontier width grows with branches, and the
+// non-chain shape forces the frontier DP (with its per-layer ctx
+// checks).
+func cancelFork(branches int) *nn.Model {
+	m := &nn.Model{Name: fmt.Sprintf("cancel-fork-%d", branches), Input: nn.Input{H: 4, W: 4, C: 2}}
+	m.Layers = append(m.Layers, nn.Layer{Name: "a", Type: nn.Conv, K: 3, Pad: 1, Cout: 2, Act: nn.ReLU})
+	var ins []string
+	for i := 0; i < branches; i++ {
+		name := fmt.Sprintf("b%d", i)
+		m.Layers = append(m.Layers, nn.Layer{
+			Name: name, Type: nn.Conv, K: 3, Pad: 1, Cout: 2, Act: nn.ReLU, Inputs: []string{"a"},
+		})
+		ins = append(ins, name)
+	}
+	m.Layers = append(m.Layers, nn.Layer{Name: "join", Type: nn.FC, Cout: 4, Inputs: ins})
+	return m
+}
+
+// canceledCtx returns an already-canceled context.
+func canceledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+func TestPreCanceledContextRefusesWork(t *testing.T) {
+	ctx := canceledCtx()
+	pool := runner.Serial()
+	chain := cancelChain(6)
+	fork := cancelFork(3)
+
+	if _, err := BruteForceCtx(ctx, pool, chain, 2, 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("BruteForceCtx = %v, want context.Canceled", err)
+	}
+	if _, err := HierarchicalCtx(ctx, fork, 2, 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("HierarchicalCtx = %v, want context.Canceled", err)
+	}
+	base := []Assignment{Uniform(len(chain.Layers), comm.DP)}
+	free := []FreeVar{{Level: 0, Layer: 0}, {Level: 0, Layer: 1}}
+	if _, err := ExploreCtx(ctx, pool, chain, 2, base, free); !errors.Is(err, context.Canceled) {
+		t.Errorf("ExploreCtx = %v, want context.Canceled", err)
+	}
+
+	shapes, err := fork.Shapes(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := fork.LayerPreds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sh tensor.Shard
+	amounts := make([]comm.LayerAmounts, len(shapes))
+	for l := range shapes {
+		amounts[l] = comm.Amounts(shapes[l], sh)
+	}
+	if _, _, err := TwoWayGraphCtx(ctx, amounts, preds); !errors.Is(err, context.Canceled) {
+		t.Errorf("TwoWayGraphCtx = %v, want context.Canceled", err)
+	}
+}
+
+// TestBruteForceCancelMidSearch cancels a 2^24-assignment enumeration
+// shortly after it starts and requires a prompt typed return — the
+// deadline/resilience contract the service relies on. Uncanceled, this
+// search would run for minutes.
+func TestBruteForceCancelMidSearch(t *testing.T) {
+	m := cancelChain(12) // 12 layers x 2 levels = 24 bits
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	_, err := BruteForceCtx(ctx, runner.Default(), m, 2, 2)
+	elapsed := time.Since(t0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("BruteForceCtx = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, want well under 5s", elapsed)
+	}
+}
+
+// TestExploreCancelMidSweep cancels a 2^20-point sweep mid-flight.
+func TestExploreCancelMidSweep(t *testing.T) {
+	m := cancelChain(20)
+	base := []Assignment{Uniform(len(m.Layers), comm.DP)}
+	free := make([]FreeVar, 20)
+	for i := range free {
+		free[i] = FreeVar{Level: 0, Layer: i}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	_, err := ExploreCtx(ctx, runner.Default(), m, 2, base, free)
+	elapsed := time.Since(t0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExploreCtx = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, want well under 5s", elapsed)
+	}
+}
+
+func TestFrontierCap(t *testing.T) {
+	// The 8-branch fork needs a frontier of 8 open layers: fine under
+	// the compiled-in cap, rejected under a configured cap of 4.
+	fork := cancelFork(8)
+	if _, err := Hierarchical(fork, 2, 1); err != nil {
+		t.Fatalf("Hierarchical under default cap: %v", err)
+	}
+
+	prev := SetFrontierCap(4)
+	defer SetFrontierCap(0)
+	if prev != maxGraphFrontier {
+		t.Fatalf("SetFrontierCap returned prev %d, want %d", prev, maxGraphFrontier)
+	}
+	_, err := Hierarchical(fork, 2, 1)
+	if !errors.Is(err, ErrTooWide) {
+		t.Fatalf("Hierarchical under cap 4 = %v, want ErrTooWide", err)
+	}
+	if !errors.Is(err, ErrPlan) {
+		t.Fatalf("ErrTooWide must wrap ErrPlan; got %v", err)
+	}
+
+	// The narrow 2-branch fork stays plannable under the lowered cap.
+	if _, err := Hierarchical(cancelFork(2), 2, 1); err != nil {
+		t.Fatalf("narrow fork under cap 4: %v", err)
+	}
+
+	// Restoring the default re-admits the wide fork.
+	SetFrontierCap(0)
+	if _, err := Hierarchical(fork, 2, 1); err != nil {
+		t.Fatalf("Hierarchical after cap restore: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/comm"
@@ -24,11 +25,19 @@ func BruteForce(m *nn.Model, batch, levels int) (*Plan, error) {
 
 // BruteForceWith is BruteForce on an explicit pool.
 func BruteForceWith(pool *runner.Pool, m *nn.Model, batch, levels int) (*Plan, error) {
-	return bruteForceWith(pool, m, batch, levels, trainingCosts)
+	return bruteForceWith(nil, pool, m, batch, levels, trainingCosts)
+}
+
+// BruteForceCtx is BruteForceWith with cancellation: the enumeration
+// checks ctx every 256 codes inside each chunk (and before dispatching
+// each chunk), so even a near-2^24 search returns promptly after the
+// context ends. A nil ctx never cancels.
+func BruteForceCtx(ctx context.Context, pool *runner.Pool, m *nn.Model, batch, levels int) (*Plan, error) {
+	return bruteForceWith(ctx, pool, m, batch, levels, trainingCosts)
 }
 
 // bruteForceWith is BruteForceWith under an arbitrary cost model.
-func bruteForceWith(pool *runner.Pool, m *nn.Model, batch, levels int, c costs) (*Plan, error) {
+func bruteForceWith(ctx context.Context, pool *runner.Pool, m *nn.Model, batch, levels int, c costs) (*Plan, error) {
 	shapes, preds, err := prepare(m, batch, levels)
 	if err != nil {
 		return nil, err
@@ -41,13 +50,18 @@ func bruteForceWith(pool *runner.Pool, m *nn.Model, batch, levels int, c costs) 
 	}
 
 	chunks := runner.Chunks(1<<uint(bits), pool.Width(), 0)
-	bests, err := runner.Map(pool, chunks, func(_ int, ck [2]int) (*Plan, error) {
+	bests, err := runner.MapCtx(ctx, pool, chunks, func(_ int, ck [2]int) (*Plan, error) {
 		assigns := make([]Assignment, levels)
 		for h := range assigns {
 			assigns[h] = make(Assignment, nl)
 		}
 		var best *Plan
 		for code := ck[0]; code < ck[1]; code++ {
+			if code&255 == 0 {
+				if err := ctxErr(ctx); err != nil {
+					return nil, err
+				}
+			}
 			for b := 0; b < bits; b++ {
 				p := comm.DP
 				if code&(1<<uint(b)) != 0 {
@@ -107,11 +121,18 @@ func Explore(m *nn.Model, batch int, base []Assignment, free []FreeVar) ([]Explo
 // by code, so the result is independent of the pool width the
 // enumeration ran at.
 func ExploreWith(pool *runner.Pool, m *nn.Model, batch int, base []Assignment, free []FreeVar) ([]ExplorePoint, error) {
-	return exploreWith(pool, m, batch, base, free, trainingCosts)
+	return exploreWith(nil, pool, m, batch, base, free, trainingCosts)
+}
+
+// ExploreCtx is ExploreWith with cancellation: the sweep checks ctx
+// every 256 codes inside each chunk, so a large exploration returns
+// promptly after the context ends. A nil ctx never cancels.
+func ExploreCtx(ctx context.Context, pool *runner.Pool, m *nn.Model, batch int, base []Assignment, free []FreeVar) ([]ExplorePoint, error) {
+	return exploreWith(ctx, pool, m, batch, base, free, trainingCosts)
 }
 
 // exploreWith is ExploreWith under an arbitrary cost model.
-func exploreWith(pool *runner.Pool, m *nn.Model, batch int, base []Assignment, free []FreeVar, c costs) ([]ExplorePoint, error) {
+func exploreWith(ctx context.Context, pool *runner.Pool, m *nn.Model, batch int, base []Assignment, free []FreeVar, c costs) ([]ExplorePoint, error) {
 	if len(free) > 20 {
 		return nil, fmt.Errorf("%w: exploring 2^%d points", ErrPlan, len(free))
 	}
@@ -137,6 +158,11 @@ func exploreWith(pool *runner.Pool, m *nn.Model, batch int, base []Assignment, f
 			work[h] = base[h].Clone()
 		}
 		for code := ck[0]; code < ck[1]; code++ {
+			if code&255 == 0 {
+				if err := ctxErr(ctx); err != nil {
+					return err
+				}
+			}
 			for i, fv := range free {
 				p := comm.DP
 				if code&(1<<uint(i)) != 0 {

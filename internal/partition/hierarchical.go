@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -18,7 +19,15 @@ import (
 // (DAG) models run the graph generalization of Algorithm 1 per level;
 // chains run the paper's O(L) recurrence unchanged.
 func Hierarchical(m *nn.Model, batch, levels int) (*Plan, error) {
-	return hierarchicalWith(m, batch, levels, trainingCosts)
+	return hierarchicalWith(nil, m, batch, levels, trainingCosts)
+}
+
+// HierarchicalCtx is Hierarchical with cancellation: the search checks
+// ctx between hierarchy levels and inside the per-level frontier DP,
+// returning ctx.Err() promptly when the context ends. A nil ctx never
+// cancels.
+func HierarchicalCtx(ctx context.Context, m *nn.Model, batch, levels int) (*Plan, error) {
+	return hierarchicalWith(ctx, m, batch, levels, trainingCosts)
 }
 
 // Evaluate computes the communication volumes of an arbitrary
@@ -71,9 +80,9 @@ func prepare(m *nn.Model, batch, levels int) ([]nn.LayerShapes, [][]int, error) 
 	if err != nil {
 		return nil, nil, err
 	}
-	if w := frontierWidth(preds); w > maxGraphFrontier {
+	if w, lim := frontierWidth(preds), FrontierCap(); w > lim {
 		return nil, nil, fmt.Errorf("%w: model %q needs a partition frontier of %d open layers (max %d)",
-			ErrPlan, m.Name, w, maxGraphFrontier)
+			ErrTooWide, m.Name, w, lim)
 	}
 	return shapes, preds, nil
 }

@@ -1,6 +1,8 @@
 package partition
 
 import (
+	"context"
+
 	"repro/internal/comm"
 	"repro/internal/nn"
 	"repro/internal/tensor"
@@ -40,13 +42,15 @@ var inferenceCosts = costs{
 // HierarchicalInference runs the partition search with the inference
 // cost model (forward pass only, no gradient or error communication).
 func HierarchicalInference(m *nn.Model, batch, levels int) (*Plan, error) {
-	return hierarchicalWith(m, batch, levels, inferenceCosts)
+	return hierarchicalWith(nil, m, batch, levels, inferenceCosts)
 }
 
 // hierarchicalWith is Hierarchical parameterized by the cost model.
 // Each level's optimum comes from the graph form of Algorithm 1, which
-// for chains is the paper's recurrence unchanged.
-func hierarchicalWith(m *nn.Model, batch, levels int, c costs) (*Plan, error) {
+// for chains is the paper's recurrence unchanged. The context (nil =
+// never cancels) is checked between hierarchy levels and inside the
+// per-level frontier DP.
+func hierarchicalWith(ctx context.Context, m *nn.Model, batch, levels int, c costs) (*Plan, error) {
 	shapes, preds, err := prepare(m, batch, levels)
 	if err != nil {
 		return nil, err
@@ -55,8 +59,14 @@ func hierarchicalWith(m *nn.Model, batch, levels int, c costs) (*Plan, error) {
 	plan := &Plan{Model: m.Name, Batch: batch, Levels: make([]Assignment, 0, levels), Edges: EdgesOf(preds)}
 	shards := make([]tensor.Shard, nl)
 	for h := 0; h < levels; h++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		amounts := amountsAt(shapes, shards)
-		_, assign := twoWayGraphWith(amounts, preds, c)
+		_, assign, err := twoWayGraphWith(ctx, amounts, preds, c)
+		if err != nil {
+			return nil, err
+		}
 		plan.Levels = append(plan.Levels, assign)
 		for l := range shards {
 			shards[l] = shards[l].Apply(assign[l] == comm.DP)

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -90,10 +91,16 @@ func AssignmentCostWeighted(amounts []comm.LayerAmounts, a Assignment, w Weights
 // cost weights. HierarchicalWeighted(m, b, l, UnitWeights()) is
 // identical to Hierarchical(m, b, l).
 func HierarchicalWeighted(m *nn.Model, batch, levels int, w Weights) (*Plan, error) {
+	return HierarchicalWeightedCtx(nil, m, batch, levels, w)
+}
+
+// HierarchicalWeightedCtx is HierarchicalWeighted with cancellation
+// (see HierarchicalCtx). A nil ctx never cancels.
+func HierarchicalWeightedCtx(ctx context.Context, m *nn.Model, batch, levels int, w Weights) (*Plan, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
-	return hierarchicalWith(m, batch, levels, w.costs())
+	return hierarchicalWith(ctx, m, batch, levels, w.costs())
 }
 
 // EvaluateWeighted is Evaluate under platform cost weights: it computes
@@ -159,17 +166,29 @@ func uniformPlanWeighted(m *nn.Model, batch, levels int, p comm.Parallelism, w W
 // objective — the exactness reference HierarchicalWeighted is compared
 // against in the per-platform conformance suite.
 func BruteForceWeightedWith(pool *runner.Pool, m *nn.Model, batch, levels int, w Weights) (*Plan, error) {
+	return BruteForceWeightedCtx(nil, pool, m, batch, levels, w)
+}
+
+// BruteForceWeightedCtx is BruteForceWeightedWith with cancellation
+// (see BruteForceCtx). A nil ctx never cancels.
+func BruteForceWeightedCtx(ctx context.Context, pool *runner.Pool, m *nn.Model, batch, levels int, w Weights) (*Plan, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
-	return bruteForceWith(pool, m, batch, levels, w.costs())
+	return bruteForceWith(ctx, pool, m, batch, levels, w.costs())
 }
 
 // ExploreWeightedWith is ExploreWith with every point's volumes
 // recorded under platform cost weights.
 func ExploreWeightedWith(pool *runner.Pool, m *nn.Model, batch int, base []Assignment, free []FreeVar, w Weights) ([]ExplorePoint, error) {
+	return ExploreWeightedCtx(nil, pool, m, batch, base, free, w)
+}
+
+// ExploreWeightedCtx is ExploreWeightedWith with cancellation (see
+// ExploreCtx). A nil ctx never cancels.
+func ExploreWeightedCtx(ctx context.Context, pool *runner.Pool, m *nn.Model, batch int, base []Assignment, free []FreeVar, w Weights) ([]ExplorePoint, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
-	return exploreWith(pool, m, batch, base, free, w.costs())
+	return exploreWith(ctx, pool, m, batch, base, free, w.costs())
 }

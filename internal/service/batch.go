@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -127,24 +128,30 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
 	// not a server error. The request context also flows into the
 	// follower wait (resolveCtx), so claimed items waiting on another
 	// consumer's computation release their pool workers promptly when
-	// the client disconnects. The recover mirrors runJob's: these
-	// workers are bare pool goroutines with no net/http recover above
-	// them, and the flight layer re-panics by design.
-	results, err := runner.MapCtx(r.Context(), s.pool, work,
+	// the client disconnects; the compute context carries only the
+	// server deadline, so a disconnect never cancels shared work. The
+	// recover mirrors runJob's: these workers are bare pool goroutines
+	// with no net/http recover above them, and the flight layer
+	// re-panics by design.
+	waitCtx, cancelWait := s.deadlineCtx(r.Context())
+	defer cancelWait()
+	computeCtx, cancelCompute := s.deadlineCtx(nil)
+	defer cancelCompute()
+	results, err := runner.MapCtx(waitCtx, s.pool, work,
 		func(_ int, u batchWork) (bl batchLine, _ error) {
 			defer func() {
 				if rec := recover(); rec != nil {
 					bl = batchLine{err: fmt.Errorf("%w: panic during evaluation: %v", ErrService, rec)}
 				}
 			}()
-			resp, err := s.resolveCtx(r.Context(), u.endpoint, u.key, func() (response, error) {
+			resp, err := s.resolveCtx(waitCtx, computeCtx, u.endpoint, u.key, func(cctx context.Context) (response, error) {
 				switch u.endpoint {
 				case "plan":
-					return s.computePlan(u.p)
+					return s.computePlan(cctx, u.p)
 				case "evaluate":
-					return s.computeEvaluate(u.p)
+					return s.computeEvaluate(cctx, u.p)
 				default:
-					return s.computeCompare(u.p)
+					return s.computeCompare(cctx, u.p)
 				}
 			})
 			return batchLine{resp: resp, err: err}, nil

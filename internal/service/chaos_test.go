@@ -1,0 +1,281 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// chaosServer builds a server wired to a fault injector plus a
+// compute counter.
+func chaosServer(t *testing.T, opts Options, cfg faultinject.Config) (*Server, *httptest.Server, *faultinject.Injector, *atomic.Int64) {
+	t.Helper()
+	in := faultinject.New(cfg)
+	var computes atomic.Int64
+	opts.FaultHook = in.Hook()
+	opts.OnCompute = func(string, string) { computes.Add(1) }
+	srv, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, in, &computes
+}
+
+// statszResilience fetches the /statsz resilience snapshot.
+func statszResilience(t *testing.T, url string) resilienceSnapshot {
+	t.Helper()
+	resp, err := http.Get(url + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statszResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st.Resilience
+}
+
+// TestChaosInjectedErrorStaysInBand proves an injected evaluation
+// failure answers as a normal in-band HTTP error and never poisons the
+// result cache: once injection stops, the same request computes fresh
+// and succeeds.
+func TestChaosInjectedErrorStaysInBand(t *testing.T) {
+	_, ts, in, computes := chaosServer(t, Options{}, faultinject.Config{ErrorRate: 1})
+	const body = `{"zoo":"Lenet-c","strategy":"hypar"}`
+
+	code, b := postJSON(t, ts.URL+"/v1/evaluate", body)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("injected error: status %d: %s", code, b)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(b, &er); err != nil || er.Error == "" {
+		t.Fatalf("injected error body is not the uniform error JSON: %s", b)
+	}
+
+	in.Disable()
+	code, b = postJSON(t, ts.URL+"/v1/evaluate", body)
+	if code != http.StatusOK {
+		t.Fatalf("after Disable: status %d: %s (failed result was cached?)", code, b)
+	}
+	if computes.Load() == 0 {
+		t.Fatal("success was served without computing — poisoned cache entry")
+	}
+
+	// And the success IS cached: a third request must not recompute.
+	before := computes.Load()
+	if code, _ := postJSON(t, ts.URL+"/v1/evaluate", body); code != http.StatusOK {
+		t.Fatalf("cached replay: status %d", code)
+	}
+	if computes.Load() != before {
+		t.Fatal("cached replay recomputed")
+	}
+}
+
+// TestChaosPanicReleasesKey proves an injected mid-compute panic never
+// leaves the singleflight key poisoned: the connection dies (net/http's
+// per-connection recover), and the very next request for the same key
+// computes fresh and succeeds.
+func TestChaosPanicReleasesKey(t *testing.T) {
+	_, ts, in, _ := chaosServer(t, Options{}, faultinject.Config{PanicRate: 1})
+	const body = `{"zoo":"Lenet-c","strategy":"hypar"}`
+
+	resp, err := http.Post(ts.URL+"/v1/evaluate", "application/json", strings.NewReader(body))
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("injected panic answered %d, want a dead connection", resp.StatusCode)
+	}
+
+	in.Disable()
+	code, b := postJSON(t, ts.URL+"/v1/evaluate", body)
+	if code != http.StatusOK {
+		t.Fatalf("after panic: status %d: %s (singleflight key still poisoned?)", code, b)
+	}
+}
+
+// TestChaosDeadlineExceeded proves a request that cannot finish inside
+// the server's deadline answers 504 promptly (not after the slow work
+// finishes) and is counted in /statsz.
+func TestChaosDeadlineExceeded(t *testing.T) {
+	_, ts, _, _ := chaosServer(t,
+		Options{RequestTimeout: 100 * time.Millisecond},
+		faultinject.Config{SlowRate: 1, Slowness: 30 * time.Second})
+
+	t0 := time.Now()
+	code, b := postJSON(t, ts.URL+"/v1/evaluate", `{"zoo":"Lenet-c"}`)
+	elapsed := time.Since(t0)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d: %s, want 504", code, b)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("504 took %v — the deadline did not cut the slow compute", elapsed)
+	}
+	if r := statszResilience(t, ts.URL); r.DeadlineExceeded < 1 {
+		t.Fatalf("resilience.deadlineExceeded = %d, want >= 1 (%+v)", r.DeadlineExceeded, r)
+	}
+}
+
+// TestChaosAdmissionSheds proves the in-flight bound sheds overload
+// with 429 + Retry-After while the occupied slot keeps computing, and
+// that shed requests are counted in /statsz.
+func TestChaosAdmissionSheds(t *testing.T) {
+	_, ts, _, _ := chaosServer(t,
+		Options{MaxInflight: 1},
+		faultinject.Config{SlowRate: 1, Slowness: 1500 * time.Millisecond})
+
+	if r := statszResilience(t, ts.URL); r.MaxInflight != 1 {
+		t.Fatalf("resilience.maxInflight = %d, want 1", r.MaxInflight)
+	}
+
+	models := []string{"SFC", "SCONV", "Lenet-c", "Cifar-c"}
+	var shed, ok atomic.Int64
+	var wg sync.WaitGroup
+	for _, name := range models {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/evaluate", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"zoo":%q}`, name)))
+			if err != nil {
+				t.Errorf("%s: %v", name, err)
+				return
+			}
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusTooManyRequests:
+				if resp.Header.Get("Retry-After") == "" {
+					t.Errorf("%s: 429 without Retry-After", name)
+				}
+				shed.Add(1)
+			case http.StatusOK:
+				ok.Add(1)
+			default:
+				t.Errorf("%s: unexpected status %d", name, resp.StatusCode)
+			}
+		}(name)
+	}
+	wg.Wait()
+	if shed.Load() == 0 {
+		t.Fatal("no request was shed at MaxInflight=1 under concurrent load")
+	}
+	if ok.Load() == 0 {
+		t.Fatal("every request was shed — the slot holder should have finished")
+	}
+	if r := statszResilience(t, ts.URL); r.Shed < shed.Load() {
+		t.Fatalf("resilience.shed = %d, want >= %d", r.Shed, shed.Load())
+	}
+}
+
+// TestChaosJobTableFullRefuses proves a full job table answers 503 with
+// Retry-After and counts the refusal, while the running job finishes.
+func TestChaosJobTableFullRefuses(t *testing.T) {
+	_, ts, in, _ := chaosServer(t,
+		Options{JobEntries: 1},
+		faultinject.Config{SlowRate: 1, Slowness: 700 * time.Millisecond})
+
+	st := submitJob(t, ts.URL, `{"zoo":"Lenet-c","free":[{"level":0,"layer":0}]}`)
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"zoo":"Lenet-c","free":[{"level":0,"layer":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second submit: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if r := statszResilience(t, ts.URL); r.Refused < 1 {
+		t.Fatalf("resilience.refused = %d, want >= 1", r.Refused)
+	}
+
+	in.Disable()
+	waitJob(t, ts.URL, st.ID)
+}
+
+// TestChaosShutdownDrainsSlowCompute proves graceful shutdown still
+// drains while an injected-slow evaluation is in flight: the pending
+// request completes and Shutdown returns clean.
+func TestChaosShutdownDrainsSlowCompute(t *testing.T) {
+	srv, ts, _, _ := chaosServer(t, Options{},
+		faultinject.Config{SlowRate: 1, Slowness: 500 * time.Millisecond})
+
+	done := make(chan int, 1)
+	go func() {
+		code, _ := postJSON(t, ts.URL+"/v1/evaluate", `{"zoo":"Lenet-c"}`)
+		done <- code
+	}()
+	time.Sleep(100 * time.Millisecond) // let the slow compute start
+
+	if err := srv.Shutdown(t.Context()); err != nil {
+		t.Fatalf("Shutdown during slow compute: %v", err)
+	}
+	select {
+	case code := <-done:
+		if code != http.StatusOK {
+			t.Fatalf("in-flight request finished with %d, want 200", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request never finished after drain")
+	}
+}
+
+// TestDegradeEndpoint pins /v1/degrade's contract: a fault spec is
+// required (400 without), and with one the response reports the
+// surviving topology and a per-strategy slowdown above 1.
+func TestDegradeEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+
+	code, b := postJSON(t, ts.URL+"/v1/degrade", `{"zoo":"AlexNet"}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("no faults: status %d: %s, want 400", code, b)
+	}
+
+	code, b = postJSON(t, ts.URL+"/v1/degrade",
+		`{"zoo":"AlexNet","config":{"faults":{"level":1,"groups":2}}}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, b)
+	}
+	var dr degradeResponse
+	if err := json.Unmarshal(b, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Accelerators != 16 || dr.Survivors != 8 || dr.DegradedLevels != 3 {
+		t.Fatalf("topology %d/%d at depth %d, want 16/8 at 3",
+			dr.Accelerators, dr.Survivors, dr.DegradedLevels)
+	}
+	for _, st := range []string{"HyPar", "DataParallel"} {
+		entry, ok := dr.Strategies[st]
+		if !ok {
+			t.Fatalf("missing strategy %q in %v", st, dr.Strategies)
+		}
+		if entry.Slowdown <= 1 {
+			t.Errorf("%s slowdown = %g, want > 1", st, entry.Slowdown)
+		}
+	}
+	if got := len(dr.DegradedPlan.Layers); got == 0 {
+		t.Fatal("degraded plan has no layers")
+	}
+	if dr.DegradedPlan.Accelerators != 8 {
+		t.Fatalf("degraded plan spans %d accelerators, want 8", dr.DegradedPlan.Accelerators)
+	}
+
+	// The strategy-less envelope still rejects explore-class fields.
+	code, _ = postJSON(t, ts.URL+"/v1/degrade",
+		`{"zoo":"AlexNet","strategy":"dp","config":{"faults":{"level":1,"groups":2}}}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("strategy on /v1/degrade: status %d, want 400", code)
+	}
+}

@@ -146,7 +146,7 @@ func (t *jobTable) add(model string, key string, points int) (*job, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.draining {
-		return nil, &httpError{code: http.StatusServiceUnavailable,
+		return nil, &httpError{code: http.StatusServiceUnavailable, retryAfter: 2,
 			err: fmt.Errorf("%w: server is draining", ErrService)}
 	}
 	if len(t.jobs) >= t.max {
@@ -160,7 +160,7 @@ func (t *jobTable) add(model string, key string, points int) (*job, error) {
 			}
 		}
 		if !evicted {
-			return nil, &httpError{code: http.StatusServiceUnavailable,
+			return nil, &httpError{code: http.StatusServiceUnavailable, retryAfter: 1,
 				err: fmt.Errorf("%w: job table full (%d jobs, all running)", ErrService, t.max)}
 		}
 	}
@@ -307,8 +307,8 @@ func (s *Server) runJob(j *job, p *parsed) {
 			j.finish(response{}, fmt.Errorf("%w: panic during sweep: %v", ErrService, r))
 		}
 	}()
-	resp, err := s.resolveRetry(j.ctx, "explore", j.key, func() (response, error) {
-		return s.exploreBody(j.ctx, p, func(b []byte) {
+	resp, err := s.resolveRetry(j.ctx, j.ctx, "explore", j.key, func(cctx context.Context) (response, error) {
+		return s.exploreBody(cctx, p, func(b []byte) {
 			if bytes.HasPrefix(b, pointLinePrefix) {
 				j.bump()
 			}
@@ -334,12 +334,9 @@ func (s *Server) jobGet(w http.ResponseWriter, r *http.Request, h func() error) 
 	m.requests.Add(1)
 	if err := h(); err != nil {
 		m.errors.Add(1)
-		code := http.StatusInternalServerError
-		var he *httpError
-		if errors.As(err, &he) {
-			code = he.code
-		}
-		s.writeError(w, code, err)
+		code, retryAfter := httpStatus(err)
+		s.noteFailure(code)
+		s.writeError(w, code, retryAfter, err)
 	}
 }
 

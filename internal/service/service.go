@@ -100,6 +100,25 @@ type Options struct {
 	// cache and coalescing, not once per request. Tests hook it to prove
 	// N identical concurrent requests evaluate exactly once.
 	OnCompute func(endpoint, key string)
+	// RequestTimeout bounds each request's evaluation and wait: past it,
+	// the request fails with a 504-class in-band error while coalesced
+	// peers are unaffected (the computation itself is bounded by the
+	// same timeout, measured from its own start). Zero means no
+	// deadline.
+	RequestTimeout time.Duration
+	// MaxInflight bounds concurrent evaluations (admission control):
+	// when the bound is reached, new computations are shed with 429 +
+	// Retry-After instead of queueing without bound. Cache hits and
+	// coalesced followers are never shed — they do no work. Zero means
+	// the default bound (8× the pool width, at least 32); negative
+	// disables admission control.
+	MaxInflight int
+	// FaultHook, when set, runs at the head of every actual evaluation
+	// (the same seam as OnCompute): returning an error fails the
+	// evaluation in-band, panicking exercises the panic path, sleeping
+	// injects slowness. Chaos tests plug internal/faultinject in here;
+	// production leaves it nil.
+	FaultHook func(ctx context.Context, endpoint, key string) error
 }
 
 // endpointStats aggregates one endpoint's counters.
@@ -162,6 +181,19 @@ type Server struct {
 	models    *modelCache
 	jobs      *jobTable
 	onCompute func(endpoint, key string)
+	faultHook func(ctx context.Context, endpoint, key string) error
+
+	// timeout is the per-request evaluation/wait deadline (0 = none);
+	// admit is the admission-control semaphore (nil = unlimited).
+	timeout time.Duration
+	admit   chan struct{}
+
+	// Resilience counters: requests shed by admission control (429),
+	// refused by a full/draining job table (503), and failed by the
+	// request deadline (504).
+	shed     atomic.Int64
+	refused  atomic.Int64
+	deadline atomic.Int64
 
 	mux     *http.ServeMux
 	hs      *http.Server
@@ -205,9 +237,25 @@ func New(opts Options) (*Server, error) {
 		cache:     newShardedLRU(entries, lruShardsFor(entries)),
 		jobs:      newJobTable(jobEntries),
 		onCompute: opts.OnCompute,
+		faultHook: opts.FaultHook,
+		timeout:   opts.RequestTimeout,
 		mux:       http.NewServeMux(),
 		start:     time.Now(),
 		metrics:   make(map[string]*endpointStats),
+	}
+	inflight := opts.MaxInflight
+	if inflight == 0 {
+		// Default bound: far above the pool's own parallelism so normal
+		// bursts (benchmarks run 8 concurrent clients) never shed, low
+		// enough that a hostile flood degrades with 429s instead of
+		// unbounded goroutine/memory growth.
+		inflight = 8 * pool.Width()
+		if inflight < 32 {
+			inflight = 32
+		}
+	}
+	if inflight > 0 {
+		s.admit = make(chan struct{}, inflight)
 	}
 	// WriteTimeout bounds how long one stalled client can hold a
 	// response open. This matters beyond hygiene: the /v1/explore
@@ -224,12 +272,13 @@ func New(opts Options) (*Server, error) {
 	}
 	s.evaluators.New = func() any { return hypar.NewEvaluator() }
 	s.models = newModelCache(DefaultModelEntries)
-	for _, ep := range []string{"plan", "evaluate", "compare", "explore", "batch", "jobs", "healthz", "statsz"} {
+	for _, ep := range []string{"plan", "evaluate", "compare", "explore", "batch", "degrade", "jobs", "healthz", "statsz"} {
 		s.metrics[ep] = &endpointStats{}
 	}
 	s.mux.HandleFunc("/v1/plan", s.post("plan", s.handlePlan))
 	s.mux.HandleFunc("/v1/evaluate", s.post("evaluate", s.handleEvaluate))
 	s.mux.HandleFunc("/v1/compare", s.post("compare", s.handleCompare))
+	s.mux.HandleFunc("/v1/degrade", s.post("degrade", s.handleDegrade))
 	s.mux.HandleFunc("/v1/explore", s.post("explore", s.handleExplore))
 	s.mux.HandleFunc("/v1/batch", s.post("batch", s.handleBatch))
 	if jobEntries > 0 {
@@ -368,10 +417,12 @@ type request struct {
 	Free     []freeVarJSON   `json:"free,omitempty"`
 }
 
-// httpError carries a status code with the error.
+// httpError carries a status code with the error, plus an optional
+// Retry-After hint (seconds) for shed/refused responses.
 type httpError struct {
-	code int
-	err  error
+	code       int
+	retryAfter int
+	err        error
 }
 
 func (e *httpError) Error() string { return e.err.Error() }
@@ -379,6 +430,55 @@ func (e *httpError) Unwrap() error { return e.err }
 
 // badRequest wraps err as a 400.
 func badRequest(err error) error { return &httpError{code: http.StatusBadRequest, err: err} }
+
+// computeErr classifies an evaluation failure: context ends (deadline,
+// cancel) pass through untouched so httpStatus maps them to their
+// 504/disconnect semantics; everything else is the request's fault — a
+// 400.
+func computeErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return err
+	}
+	return badRequest(err)
+}
+
+// httpStatus maps an error to its HTTP status code and Retry-After
+// hint: an explicit httpError keeps its own, a context deadline is a
+// 504 (the request exceeded its evaluation budget), anything else is a
+// 500.
+func httpStatus(err error) (code, retryAfter int) {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.code, he.retryAfter
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout, 0
+	}
+	return http.StatusInternalServerError, 0
+}
+
+// noteFailure advances the resilience counter matching the failure
+// class (shed 429s, refused 503s, deadline 504s).
+func (s *Server) noteFailure(code int) {
+	switch code {
+	case http.StatusTooManyRequests:
+		s.shed.Add(1)
+	case http.StatusServiceUnavailable:
+		s.refused.Add(1)
+	case http.StatusGatewayTimeout:
+		s.deadline.Add(1)
+	}
+}
+
+// errShed is the admission-control refusal: a 429 with a Retry-After
+// hint, shaped so batch items and single requests render it uniformly.
+func (s *Server) errShed() error {
+	return &httpError{
+		code:       http.StatusTooManyRequests,
+		retryAfter: 1,
+		err:        fmt.Errorf("%w: server at its in-flight evaluation bound (%d), retry later", ErrService, cap(s.admit)),
+	}
+}
 
 // parsed is a fully resolved request.
 type parsed struct {
@@ -641,25 +741,31 @@ func (s *Server) post(endpoint string, h func(http.ResponseWriter, *http.Request
 		m.requests.Add(1)
 		if r.Method != http.MethodPost {
 			m.errors.Add(1)
-			s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("%w: use POST", ErrService))
+			s.writeError(w, http.StatusMethodNotAllowed, 0, fmt.Errorf("%w: use POST", ErrService))
 			return
 		}
 		if err := h(w, r); err != nil {
 			m.errors.Add(1)
-			code := http.StatusInternalServerError
-			var he *httpError
-			if errors.As(err, &he) {
-				code = he.code
+			if errors.Is(err, context.Canceled) && r.Context().Err() != nil {
+				// The client disconnected while this request waited on a
+				// coalesced computation — there is nobody to answer.
+				return
 			}
-			s.writeError(w, code, err)
+			code, retryAfter := httpStatus(err)
+			s.noteFailure(code)
+			s.writeError(w, code, retryAfter, err)
 		}
 		m.latencyNs.Add(time.Since(t0).Nanoseconds())
 	}
 }
 
-// writeError renders the uniform error body.
-func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
+// writeError renders the uniform error body, with a Retry-After header
+// when the failure is worth retrying (shed and refused requests).
+func (s *Server) writeError(w http.ResponseWriter, code, retryAfter int, err error) {
 	w.Header().Set("Content-Type", "application/json")
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfter))
+	}
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
 }
@@ -670,27 +776,39 @@ func writeResponse(w http.ResponseWriter, resp response) {
 	_, _ = w.Write(resp.body)
 }
 
-// resolve runs the cache → singleflight → compute pipeline for one
-// request hash and returns the rendered response. Every consumer of a
-// key — single-request handlers, batch items, async jobs — funnels
-// through here, which is what makes them share one cache entry and one
-// in-flight computation.
-func (s *Server) resolve(endpoint, key string, compute func() (response, error)) (response, error) {
-	return s.resolveCtx(nil, endpoint, key, compute)
+// deadlineCtx applies the server's request timeout (if any) on top of
+// parent (nil = background). The returned cancel must always be
+// called.
+func (s *Server) deadlineCtx(parent context.Context) (context.Context, context.CancelFunc) {
+	if parent == nil {
+		parent = context.Background()
+	}
+	if s.timeout <= 0 {
+		return parent, func() {}
+	}
+	return context.WithTimeout(parent, s.timeout)
 }
 
-// resolveCtx is resolve with a cancelable follower wait: a caller
-// whose ctx is done stops waiting on another consumer's computation
-// and gets ctx's error, without canceling the shared work. The leader
-// ignores ctx (cancel inside compute if the computation itself should
-// stop). A nil ctx waits indefinitely.
-func (s *Server) resolveCtx(ctx context.Context, endpoint, key string, compute func() (response, error)) (response, error) {
+// resolveCtx runs the cache → admission → singleflight → compute
+// pipeline for one request hash and returns the rendered response.
+// Every consumer of a key — single-request handlers, batch items,
+// async jobs — funnels through here, which is what makes them share
+// one cache entry and one in-flight computation.
+//
+// The two contexts separate the caller's wait from the shared work: a
+// follower whose waitCtx ends stops waiting on another consumer's
+// computation and gets waitCtx's error, without canceling that work;
+// computeCtx (threaded into compute if this caller leads) bounds the
+// evaluation itself — client disconnects never flow into it, only the
+// server's own timeout or, for jobs, the job's cancellation. Either
+// may be nil (never cancels).
+func (s *Server) resolveCtx(waitCtx, computeCtx context.Context, endpoint, key string, compute func(ctx context.Context) (response, error)) (response, error) {
 	m := s.metrics[endpoint]
 	if resp, ok := s.cache.Get(key); ok {
 		m.cacheHits.Add(1)
 		return resp, nil
 	}
-	resp, err, leader := s.flight.DoCtx(ctx, key, func() (response, error) {
+	resp, err, leader := s.flight.DoCtx(waitCtx, key, func() (response, error) {
 		// Double-check: a racing leader may have populated the cache
 		// between this request's miss and its turn in the flight. The
 		// re-check makes "identical requests evaluate once" exact, not
@@ -699,11 +817,32 @@ func (s *Server) resolveCtx(ctx context.Context, endpoint, key string, compute f
 			m.cacheHits.Add(1)
 			return resp, nil
 		}
+		// Admission control: an actual evaluation takes a semaphore slot
+		// or is shed with 429 + Retry-After. Cache hits and coalesced
+		// followers never get here — they do no work and are never shed.
+		if s.admit != nil {
+			select {
+			case s.admit <- struct{}{}:
+				defer func() { <-s.admit }()
+			default:
+				return response{}, s.errShed()
+			}
+		}
 		m.computes.Add(1)
 		if s.onCompute != nil {
 			s.onCompute(endpoint, key)
 		}
-		resp, err := compute()
+		if s.faultHook != nil {
+			if err := s.faultHook(computeCtx, endpoint, key); err != nil {
+				return response{}, err
+			}
+		}
+		if computeCtx != nil {
+			if err := computeCtx.Err(); err != nil {
+				return response{}, err
+			}
+		}
+		resp, err := compute(computeCtx)
 		if err == nil {
 			s.cache.Put(key, resp)
 		}
@@ -718,23 +857,32 @@ func (s *Server) resolveCtx(ctx context.Context, endpoint, key string, compute f
 // resolveRetry is resolveCtx plus the canceled-coalesced-leader retry
 // policy, shared by every consumer that can coalesce onto an async
 // job's computation: a context.Canceled failure that is NOT this
-// caller's own cancellation (its ctx is still live, or nil) means the
-// flight's leader was a since-canceled job — the key is free again, so
-// retry, typically becoming the new leader. The bound only keeps an
-// adversarial stream of canceled-job leaders from pinning the caller.
-func (s *Server) resolveRetry(ctx context.Context, endpoint, key string, compute func() (response, error)) (response, error) {
+// caller's own cancellation (its waitCtx is still live, or nil) means
+// the flight's leader was a since-canceled job — the key is free
+// again, so retry, typically becoming the new leader. The bound only
+// keeps an adversarial stream of canceled-job leaders from pinning the
+// caller.
+func (s *Server) resolveRetry(waitCtx, computeCtx context.Context, endpoint, key string, compute func(ctx context.Context) (response, error)) (response, error) {
 	for attempt := 0; ; attempt++ {
-		resp, err := s.resolveCtx(ctx, endpoint, key, compute)
-		ownCancel := ctx != nil && ctx.Err() != nil
+		resp, err := s.resolveCtx(waitCtx, computeCtx, endpoint, key, compute)
+		ownCancel := waitCtx != nil && waitCtx.Err() != nil
 		if err == nil || ownCancel || !errors.Is(err, context.Canceled) || attempt >= 8 {
 			return resp, err
 		}
 	}
 }
 
-// serveCached resolves the key and writes the rendered response.
-func (s *Server) serveCached(endpoint, key string, w http.ResponseWriter, compute func() (response, error)) error {
-	resp, err := s.resolve(endpoint, key, compute)
+// serveCached resolves the key under the request's deadline and writes
+// the rendered response. The wait context derives from the client's
+// (disconnects stop a follower's wait); the compute context does not —
+// it carries only the server timeout, so a shared computation survives
+// the disconnect of whichever request happened to lead it.
+func (s *Server) serveCached(r *http.Request, endpoint, key string, w http.ResponseWriter, compute func(ctx context.Context) (response, error)) error {
+	waitCtx, cancelWait := s.deadlineCtx(r.Context())
+	defer cancelWait()
+	computeCtx, cancelCompute := s.deadlineCtx(nil)
+	defer cancelCompute()
+	resp, err := s.resolveCtx(waitCtx, computeCtx, endpoint, key, compute)
 	if err != nil {
 		return err
 	}
@@ -757,10 +905,10 @@ func jsonResponse(v any) (response, error) {
 // call; distinct concurrent requests run on distinct evaluators and
 // the cache/singleflight layer above keeps redundant evaluations from
 // ever reaching this point.
-func (s *Server) runShared(m *nn.Model, st hypar.Strategy, cfg hypar.Config) (*hypar.Result, error) {
+func (s *Server) runShared(ctx context.Context, m *nn.Model, st hypar.Strategy, cfg hypar.Config) (*hypar.Result, error) {
 	ev := s.evaluators.Get().(*hypar.Evaluator)
 	defer s.evaluators.Put(ev)
-	return ev.Run(m, st, cfg)
+	return ev.RunCtx(ctx, m, st, cfg)
 }
 
 // ---------------------------------------------------------------------------
@@ -772,16 +920,16 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	return s.serveCached("plan", p.key("plan"), w, func() (response, error) {
-		return s.computePlan(p)
+	return s.serveCached(r, "plan", p.key("plan"), w, func(ctx context.Context) (response, error) {
+		return s.computePlan(ctx, p)
 	})
 }
 
 // computePlan renders the /v1/plan response for a resolved request.
-func (s *Server) computePlan(p *parsed) (response, error) {
-	plan, err := hypar.NewPlan(p.model, p.strategy, p.cfg)
+func (s *Server) computePlan(ctx context.Context, p *parsed) (response, error) {
+	plan, err := hypar.NewPlanCtx(ctx, p.model, p.strategy, p.cfg)
 	if err != nil {
-		return response{}, badRequest(err)
+		return response{}, computeErr(err)
 	}
 	return jsonResponse(planResponse{
 		Model:    p.model.Name,
@@ -797,17 +945,17 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	return s.serveCached("evaluate", p.key("evaluate"), w, func() (response, error) {
-		return s.computeEvaluate(p)
+	return s.serveCached(r, "evaluate", p.key("evaluate"), w, func(ctx context.Context) (response, error) {
+		return s.computeEvaluate(ctx, p)
 	})
 }
 
 // computeEvaluate renders the /v1/evaluate response for a resolved
 // request.
-func (s *Server) computeEvaluate(p *parsed) (response, error) {
-	res, err := s.runShared(p.model, p.strategy, p.cfg)
+func (s *Server) computeEvaluate(ctx context.Context, p *parsed) (response, error) {
+	res, err := s.runShared(ctx, p.model, p.strategy, p.cfg)
 	if err != nil {
-		return response{}, badRequest(err)
+		return response{}, computeErr(err)
 	}
 	return jsonResponse(evaluateResponse{
 		planResponse: planResponse{
@@ -826,14 +974,14 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	return s.serveCached("compare", p.key("compare"), w, func() (response, error) {
-		return s.computeCompare(p)
+	return s.serveCached(r, "compare", p.key("compare"), w, func(ctx context.Context) (response, error) {
+		return s.computeCompare(ctx, p)
 	})
 }
 
 // computeCompare renders the /v1/compare response for a resolved
 // request.
-func (s *Server) computeCompare(p *parsed) (response, error) {
+func (s *Server) computeCompare(ctx context.Context, p *parsed) (response, error) {
 	resp := compareResponse{
 		Model:   p.model.Name,
 		Config:  p.cfg,
@@ -842,11 +990,11 @@ func (s *Server) computeCompare(p *parsed) (response, error) {
 	}
 	// The four strategies are independent; fan them out on the
 	// server pool (each worker borrowing a pooled evaluator).
-	results, err := runner.Map(s.pool, hypar.Strategies,
+	results, err := runner.MapCtx(ctx, s.pool, hypar.Strategies,
 		func(_ int, st hypar.Strategy) (*hypar.Result, error) {
-			res, err := s.runShared(p.model, st, p.cfg)
+			res, err := s.runShared(ctx, p.model, st, p.cfg)
 			if err != nil {
-				return nil, badRequest(fmt.Errorf("strategy %v: %w", st, err))
+				return nil, computeErr(fmt.Errorf("strategy %v: %w", st, err))
 			}
 			return res, nil
 		})
@@ -963,21 +1111,25 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) error {
 	}
 	key := p.key("explore")
 	m := s.metrics["explore"]
+	waitCtx, cancelWait := s.deadlineCtx(r.Context())
+	defer cancelWait()
+	computeCtx, cancelCompute := s.deadlineCtx(nil)
+	defer cancelCompute()
 	var streamed bool
-	resp, err := s.resolveRetry(nil, "explore", key, func() (response, error) {
+	resp, err := s.resolveRetry(waitCtx, computeCtx, "explore", key, func(cctx context.Context) (response, error) {
 		// This request is the flight leader: it streams lines to its
 		// own client as they are computed while exploreBody tees them
 		// into the body buffer for the cache and followers. A client
 		// write failure (leader disconnected mid-stream) must not
 		// abort the sweep: followers coalesced onto this flight still
 		// need the result, so the computation keeps filling the body
-		// (nil context — never cancels) and only the doomed client
-		// writes stop.
+		// (cctx carries only the server timeout, never the client's
+		// disconnect) and only the doomed client writes stop.
 		var clientGone bool
 		flusher, _ := w.(http.Flusher)
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		streamed = true
-		return s.exploreBody(nil, p, func(b []byte) {
+		return s.exploreBody(cctx, p, func(b []byte) {
 			if clientGone {
 				return
 			}
@@ -994,6 +1146,8 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) error {
 			// signal the client sees. Count the failure here since
 			// returning nil bypasses post()'s error accounting.
 			m.errors.Add(1)
+			code, _ := httpStatus(err)
+			s.noteFailure(code)
 			return nil
 		}
 		return err
@@ -1022,6 +1176,19 @@ type jobsSnapshot struct {
 	Active  int `json:"active"`
 }
 
+// resilienceSnapshot is the /statsz view of admission control and
+// deadlines: the in-flight bound and occupancy, plus how many requests
+// were shed (429), refused by the job table (503) or failed their
+// deadline (504).
+type resilienceSnapshot struct {
+	MaxInflight      int   `json:"maxInflight"` // 0 = unlimited
+	Inflight         int   `json:"inflight"`
+	Shed             int64 `json:"shed"`
+	Refused          int64 `json:"refused"`
+	DeadlineExceeded int64 `json:"deadlineExceeded"`
+	RequestTimeoutMs int64 `json:"requestTimeoutMs"` // 0 = no deadline
+}
+
 // statszResponse is the /statsz body.
 type statszResponse struct {
 	UptimeSeconds float64                  `json:"uptimeSeconds"`
@@ -1030,6 +1197,7 @@ type statszResponse struct {
 	CacheShards   int                      `json:"cacheShards"`
 	Sessions      int                      `json:"sessions"`
 	Jobs          jobsSnapshot             `json:"jobs"`
+	Resilience    resilienceSnapshot       `json:"resilience"`
 	Endpoints     map[string]statsSnapshot `json:"endpoints"`
 }
 
@@ -1044,7 +1212,15 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		CacheShards:   len(s.cache.shards),
 		Sessions:      s.sessions.Len(),
 		Jobs:          jobsSnapshot{Tracked: tracked, Active: active},
-		Endpoints:     make(map[string]statsSnapshot, len(s.metrics)),
+		Resilience: resilienceSnapshot{
+			MaxInflight:      cap(s.admit),
+			Inflight:         len(s.admit),
+			Shed:             s.shed.Load(),
+			Refused:          s.refused.Load(),
+			DeadlineExceeded: s.deadline.Load(),
+			RequestTimeoutMs: s.timeout.Milliseconds(),
+		},
+		Endpoints: make(map[string]statsSnapshot, len(s.metrics)),
 	}
 	for name, m := range s.metrics {
 		resp.Endpoints[name] = m.snapshot()

@@ -17,6 +17,8 @@
 #                               dedupe: the /v1/batch leverage)
 #   service.branched.rps        branched (DAG) workloads: the graph
 #                               partition search + DAG simulation path
+#   service.degraded.rps        degraded-array replanning: /v1/degrade's
+#                               healthy-vs-degraded fan-out per request
 #
 # BENCHTIME overrides the per-benchmark iteration count (default 10x;
 # use a duration like 1s for lower variance on quiet machines).
@@ -51,6 +53,7 @@ service_mixed="null"
 service_batch_hot="null"
 service_batch_mixed="null"
 service_branched="null"
+service_degraded="null"
 daemon_pid=""
 if [ "${SKIP_SERVICE:-0}" != "1" ]; then
 	tmpdir="$(mktemp -d)"
@@ -76,6 +79,9 @@ if [ "${SKIP_SERVICE:-0}" != "1" ]; then
 	echo "service throughput (branched DAG workloads):"
 	service_branched="$("$tmpdir/loadgen" -addr "127.0.0.1:${port}" -mode branched -requests 300 -concurrency 8)"
 	echo "$service_branched"
+	echo "service throughput (degraded-array replanning):"
+	service_degraded="$("$tmpdir/loadgen" -addr "127.0.0.1:${port}" -mode degraded -requests 300 -concurrency 8)"
+	echo "$service_degraded"
 
 	kill "$daemon_pid" 2>/dev/null || true
 	wait "$daemon_pid" 2>/dev/null || true
@@ -84,7 +90,7 @@ fi
 
 {
 	printf '{\n'
-	printf '  "schema": "bench-v4",\n'
+	printf '  "schema": "bench-v5",\n'
 	printf '  "go": "%s",\n' "$(go env GOVERSION)"
 	printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
 	printf '  "benchtime": "%s",\n' "$benchtime"
@@ -96,7 +102,8 @@ fi
 	printf '    "mixed": %s,\n' "$service_mixed"
 	printf '    "batch_hot": %s,\n' "$service_batch_hot"
 	printf '    "batch_mixed": %s,\n' "$service_batch_mixed"
-	printf '    "branched": %s\n' "$service_branched"
+	printf '    "branched": %s,\n' "$service_branched"
+	printf '    "degraded": %s\n' "$service_degraded"
 	printf '  }\n'
 	printf '}\n'
 } >"$out"

@@ -14,6 +14,15 @@
 //	               Incep-2 zoo names plus an inline fork/join model
 //	               JSON — across strategies and batch sizes (exercises
 //	               the graph partition search and DAG simulation)
+//	-mode degraded cycles zoo models × batch sizes through /v1/degrade
+//	               with a fixed fault spec (exercises healthy-vs-degraded
+//	               replanning)
+//
+// Shed requests (429/503) are retried with jittered exponential
+// backoff, honoring the server's Retry-After; requests still shed after
+// the retry budget count as "shed" in the report, separately from hard
+// errors — load shedding is the server working as designed, not a
+// failure, so only hard errors fail the run.
 //
 // -batch N wraps N of the mode's bodies into one /v1/batch request per
 // POST (the same global item sequence the single-request run would
@@ -34,9 +43,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -55,6 +66,8 @@ type result struct {
 	Items       int     `json:"items"`
 	Concurrency int     `json:"concurrency"`
 	Errors      int64   `json:"errors"`
+	Shed        int64   `json:"shed"`
+	Retries     int64   `json:"retries"`
 	Seconds     float64 `json:"seconds"`
 	RPS         float64 `json:"rps"`
 	ItemsPerSec float64 `json:"itemsPerSec"`
@@ -87,6 +100,10 @@ func body(mode string, i int) string {
 	switch mode {
 	case "hot":
 		return `{"zoo":"VGG-A","strategy":"hypar"}`
+	case "degraded":
+		name := zooNames[i%len(zooNames)]
+		batch := 64 << uint((i/len(zooNames))%3) // 64, 128, 256
+		return fmt.Sprintf(`{"zoo":%q,"config":{"batch":%d,"faults":{"level":1,"groups":2}}}`, name, batch)
 	case "branched":
 		name := branchedNames[i%len(branchedNames)]
 		strat := strategies[(i/len(branchedNames))%len(strategies)]
@@ -124,13 +141,16 @@ func main() {
 		n       = flag.Int("requests", 200, "total requests")
 		batch   = flag.Int("batch", 0, "items per request through /v1/batch (0 = single requests)")
 		conc    = flag.Int("concurrency", 8, "concurrent clients")
-		mode    = flag.String("mode", "hot", "hot | mixed | branched")
+		mode    = flag.String("mode", "hot", "hot | mixed | branched | degraded")
 		wait    = flag.Duration("wait", 15*time.Second, "wait for /healthz before starting")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		retries = flag.Int("retries", 4, "retry budget per request for shed (429/503) responses")
 	)
 	flag.Parse()
 	if *batch > 0 {
 		*path = "/v1/batch"
+	} else if *mode == "degraded" {
+		*path = "/v1/degrade"
 	}
 
 	base := "http://" + *addr
@@ -143,6 +163,8 @@ func main() {
 	var (
 		next    atomic.Int64
 		errs    atomic.Int64
+		shed    atomic.Int64
+		retried atomic.Int64
 		mu      sync.Mutex
 		lats    = make([]float64, 0, *n)
 		wg      sync.WaitGroup
@@ -152,6 +174,7 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= *n {
@@ -162,34 +185,59 @@ func main() {
 					reqBody = batchBody(*mode, i*(*batch), *batch)
 				}
 				t0 := time.Now()
-				resp, err := client.Post(base+*path, "application/json",
-					bytes.NewReader([]byte(reqBody)))
-				if err != nil {
-					errs.Add(1)
-					continue
-				}
-				// /v1/batch answers 200 with per-item failures as
-				// in-band {"error":...} NDJSON lines; a benchmark that
-				// discarded them would happily measure error-rendering
-				// throughput. Count any failed line as a failed request.
-				failedItems := false
-				if *batch > 0 {
-					sc := bufio.NewScanner(resp.Body)
-					sc.Buffer(make([]byte, 1<<20), 1<<20)
-					for sc.Scan() {
-						if bytes.HasPrefix(sc.Bytes(), []byte(`{"error":`)) {
+				ok := false
+				for attempt := 0; ; attempt++ {
+					resp, err := client.Post(base+*path, "application/json",
+						bytes.NewReader([]byte(reqBody)))
+					if err != nil {
+						errs.Add(1)
+						break
+					}
+					// Shed (429) and refused (503) responses mean the
+					// server is protecting itself — back off and retry
+					// within the budget, honoring Retry-After; a request
+					// still shed afterwards counts as shed, not failed.
+					if resp.StatusCode == http.StatusTooManyRequests ||
+						resp.StatusCode == http.StatusServiceUnavailable {
+						retryAfter := resp.Header.Get("Retry-After")
+						_, _ = io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						if attempt >= *retries {
+							shed.Add(1)
+							break
+						}
+						retried.Add(1)
+						time.Sleep(backoff(rng, attempt, retryAfter))
+						continue
+					}
+					// /v1/batch answers 200 with per-item failures as
+					// in-band {"error":...} NDJSON lines; a benchmark that
+					// discarded them would happily measure error-rendering
+					// throughput. Count any failed line as a failed request.
+					failedItems := false
+					if *batch > 0 {
+						sc := bufio.NewScanner(resp.Body)
+						sc.Buffer(make([]byte, 1<<20), 1<<20)
+						for sc.Scan() {
+							if bytes.HasPrefix(sc.Bytes(), []byte(`{"error":`)) {
+								failedItems = true
+							}
+						}
+						if sc.Err() != nil {
 							failedItems = true
 						}
+					} else {
+						_, _ = io.Copy(io.Discard, resp.Body)
 					}
-					if sc.Err() != nil {
-						failedItems = true
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK || failedItems {
+						errs.Add(1)
+						break
 					}
-				} else {
-					_, _ = io.Copy(io.Discard, resp.Body)
+					ok = true
+					break
 				}
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK || failedItems {
-					errs.Add(1)
+				if !ok {
 					continue
 				}
 				ms := float64(time.Since(t0).Nanoseconds()) / 1e6
@@ -222,6 +270,8 @@ func main() {
 		Items:       *n * perReq,
 		Concurrency: *conc,
 		Errors:      errs.Load(),
+		Shed:        shed.Load(),
+		Retries:     retried.Load(),
 		Seconds:     elapsed,
 		RPS:         float64(len(lats)) / elapsed,
 		ItemsPerSec: float64(len(lats)*perReq) / elapsed,
@@ -237,6 +287,23 @@ func main() {
 	if out.Errors > 0 {
 		os.Exit(2)
 	}
+}
+
+// backoff picks the delay before retrying a shed request: jittered
+// exponential (25ms · 2^attempt, up to ~1.6s, ±50% jitter), but never
+// less than the server's Retry-After when it names one.
+func backoff(rng *rand.Rand, attempt int, retryAfter string) time.Duration {
+	if attempt > 6 {
+		attempt = 6
+	}
+	base := 25 * time.Millisecond << uint(attempt)
+	d := base/2 + time.Duration(rng.Int63n(int64(base)))
+	if s, err := strconv.Atoi(retryAfter); err == nil && s > 0 {
+		if min := time.Duration(s) * time.Second; d < min {
+			d = min
+		}
+	}
+	return d
 }
 
 // waitHealthy polls /healthz until the daemon answers or the budget is
