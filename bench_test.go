@@ -404,3 +404,25 @@ func BenchmarkAblationPrecision(b *testing.B) {
 		discardTable(b, t, err)
 	}
 }
+
+// BenchmarkCalibration is a fixed, codebase-independent workload —
+// pure integer xorshift, no memory traffic — that measures only how
+// fast the host is running right now. scripts/benchdiff divides the
+// two files' calibration figures to get a host-speed scale and
+// normalizes every other ns/op comparison by it, so a noisy or
+// throttled CI runner reads as calibration drift, not as a code
+// regression. Touching this benchmark invalidates that normalization:
+// do not change the loop.
+func BenchmarkCalibration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		x := uint64(0x9E3779B97F4A7C15)
+		for j := 0; j < 1_000_000; j++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		if x == 0 {
+			b.Fatal("xorshift collapsed")
+		}
+	}
+}

@@ -57,6 +57,7 @@ func run(args []string, w io.Writer, ready func(addr string, stop func())) error
 		addr     = fs.String("addr", ":8080", "listen address")
 		workers  = fs.Int("workers", 0, "worker pool width (0 = GOMAXPROCS)")
 		cache    = fs.Int("cache", service.DefaultCacheEntries, "result cache entries (negative disables)")
+		rawBytes = fs.Int("rawcache", service.DefaultRawCacheBytes, "raw-bytes fast-path budget in bytes (negative disables)")
 		sessions = fs.Int("sessions", service.DefaultSessionEntries, "cached non-base-config sessions (negative disables reuse)")
 		jobs     = fs.Int("jobs", service.DefaultJobEntries, "async job table entries (negative disables /v1/jobs)")
 		batch    = fs.Int("batch", 256, "default mini-batch size")
@@ -89,6 +90,7 @@ func run(args []string, w io.Writer, ready func(addr string, stop func())) error
 		Config:         cfg,
 		Pool:           pool,
 		CacheEntries:   *cache,
+		RawCacheBytes:  *rawBytes,
 		SessionEntries: *sessions,
 		JobEntries:     *jobs,
 		RequestTimeout: *timeout,

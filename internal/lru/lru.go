@@ -12,26 +12,58 @@ import (
 )
 
 // Cache is a bounded, thread-safe LRU keyed by any comparable type.
-// The entry count (not value size) is the bound. A bound <= 0 disables
-// storage: every Get misses and every Put is dropped, while GetOrAdd
-// still builds (it just does not retain).
+// The default bound is the entry count; NewSized installs a cost
+// function instead, making the bound a total-cost budget (e.g. bytes).
+// A bound <= 0 disables storage: every Get misses and every Put is
+// dropped, while GetOrAdd still builds (it just does not retain).
 type Cache[K comparable, V any] struct {
 	mu      sync.Mutex
 	max     int
 	ll      *list.List // front = most recently used
 	items   map[K]*list.Element
 	onEvict func(K, V)
+	cost    func(K, V) int // nil = 1 per entry (max counts entries)
+	total   int            // summed cost of resident entries
 }
 
-// entry is one cached value with its key (needed for eviction).
+// entry is one cached value with its key (needed for eviction) and the
+// cost charged when it was inserted, so refresh and eviction release
+// exactly what was charged even if the cost function is not pure.
 type entry[K comparable, V any] struct {
-	key K
-	val V
+	key  K
+	val  V
+	cost int
 }
 
 // New builds a cache bounded to max entries.
 func New[K comparable, V any](max int) *Cache[K, V] {
 	return &Cache[K, V]{max: max, ll: list.New(), items: make(map[K]*list.Element)}
+}
+
+// NewSized builds a cache bounded to a total cost budget instead of an
+// entry count: cost prices each entry (clamped to >= 1) and the cache
+// evicts least-recently-used entries while the summed cost exceeds
+// maxCost. An entry whose own cost exceeds the whole budget is not
+// stored at all — caching it would require flushing everything else
+// for a value too big to keep. The service's raw-bytes response cache
+// uses this with cost = key bytes + body bytes.
+func NewSized[K comparable, V any](maxCost int, cost func(K, V) int) *Cache[K, V] {
+	c := New[K, V](maxCost)
+	c.cost = cost
+	return c
+}
+
+// costOf prices one entry: the configured cost function clamped to at
+// least 1 (a zero/negative cost would let unbounded entries accumulate
+// under a finite budget), or 1 per entry when no function is set.
+func (c *Cache[K, V]) costOf(key K, val V) int {
+	if c.cost == nil {
+		return 1
+	}
+	if n := c.cost(key, val); n > 1 {
+		return n
+	}
+	return 1
 }
 
 // SetOnEvict installs a hook invoked once per entry leaving the cache —
@@ -66,19 +98,30 @@ func (c *Cache[K, V]) Get(key K) (V, bool) {
 }
 
 // Put inserts or refreshes the value, evicting the least recently used
-// entries beyond the bound.
+// entries beyond the bound. A value too costly for the whole budget is
+// dropped without disturbing resident entries.
 func (c *Cache[K, V]) Put(key K, val V) {
 	if c.max <= 0 {
+		return
+	}
+	cost := c.costOf(key, val)
+	if cost > c.max {
 		return
 	}
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*entry[K, V]).val = val
+		e := el.Value.(*entry[K, V])
+		c.total += cost - e.cost
+		e.val, e.cost = val, cost
+		// A refresh can raise the entry's cost past the budget; shed
+		// colder entries the same way an insert would.
+		dropped := c.evict()
 		c.mu.Unlock()
+		c.notify(dropped)
 		return
 	}
-	dropped := c.insert(key, val)
+	dropped := c.insert(key, val, cost)
 	c.mu.Unlock()
 	c.notify(dropped)
 }
@@ -98,8 +141,8 @@ func (c *Cache[K, V]) GetOrAdd(key K, build func() V) (V, bool) {
 	}
 	val := build()
 	var dropped []entry[K, V]
-	if c.max > 0 {
-		dropped = c.insert(key, val)
+	if cost := c.costOf(key, val); c.max > 0 && cost <= c.max {
+		dropped = c.insert(key, val, cost)
 	}
 	c.mu.Unlock()
 	c.notify(dropped)
@@ -114,7 +157,9 @@ func (c *Cache[K, V]) Remove(key K) bool {
 	if ok {
 		c.ll.Remove(el)
 		delete(c.items, key)
-		dropped = append(dropped, *el.Value.(*entry[K, V]))
+		e := el.Value.(*entry[K, V])
+		c.total -= e.cost
+		dropped = append(dropped, *e)
 	}
 	c.mu.Unlock()
 	c.notify(dropped)
@@ -132,6 +177,7 @@ func (c *Cache[K, V]) RemoveIf(pred func(K) bool) int {
 		if pred(e.key) {
 			c.ll.Remove(el)
 			delete(c.items, e.key)
+			c.total -= e.cost
 			dropped = append(dropped, *e)
 		}
 		el = next
@@ -141,16 +187,27 @@ func (c *Cache[K, V]) RemoveIf(pred func(K) bool) int {
 	return len(dropped)
 }
 
-// insert adds a fresh entry and evicts past the bound, returning the
-// dropped entries. Callers hold mu.
-func (c *Cache[K, V]) insert(key K, val V) []entry[K, V] {
-	c.items[key] = c.ll.PushFront(&entry[K, V]{key: key, val: val})
+// insert adds a fresh entry at the given cost and evicts past the
+// bound, returning the dropped entries. Callers hold mu and have
+// checked cost <= max.
+func (c *Cache[K, V]) insert(key K, val V, cost int) []entry[K, V] {
+	c.items[key] = c.ll.PushFront(&entry[K, V]{key: key, val: val, cost: cost})
+	c.total += cost
+	return c.evict()
+}
+
+// evict sheds least-recently-used entries while the summed cost is
+// over the bound, returning them. Callers hold mu. The newest entry is
+// never evicted: insert/Put guarantee its cost fits the budget alone,
+// so the loop always terminates before reaching the front.
+func (c *Cache[K, V]) evict() []entry[K, V] {
 	var dropped []entry[K, V]
-	for c.ll.Len() > c.max {
+	for c.total > c.max && c.ll.Len() > 1 {
 		last := c.ll.Back()
 		c.ll.Remove(last)
 		e := last.Value.(*entry[K, V])
 		delete(c.items, e.key)
+		c.total -= e.cost
 		dropped = append(dropped, *e)
 	}
 	return dropped
@@ -161,6 +218,14 @@ func (c *Cache[K, V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// Cost returns the summed cost of resident entries (the entry count
+// when no cost function is set).
+func (c *Cache[K, V]) Cost() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
 }
 
 // Max returns the configured bound.

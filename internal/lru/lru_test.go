@@ -165,3 +165,78 @@ func TestOnEvictHook(t *testing.T) {
 		}
 	}
 }
+
+// TestSizedBudget pins the cost-aware bound: the summed cost never
+// exceeds the budget, eviction is LRU over cost, and an entry larger
+// than the whole budget is refused without disturbing residents.
+func TestSizedBudget(t *testing.T) {
+	cost := func(k, v string) int { return len(k) + len(v) }
+	c := NewSized[string, string](20, cost)
+	c.Put("a", "1234") // cost 5
+	c.Put("b", "1234") // cost 5
+	c.Put("c", "1234") // cost 5 → total 15
+	if got := c.Cost(); got != 15 {
+		t.Fatalf("Cost=%d, want 15", got)
+	}
+	c.Get("a")             // refresh a
+	c.Put("d", "12345678") // cost 9: must evict b (LRU), total 20
+	if got := c.Cost(); got > 20 {
+		t.Fatalf("Cost=%d exceeds the 20 budget", got)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived; LRU should have shed it first")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("refreshed a was evicted out of order")
+	}
+	// An entry pricier than the entire budget is never stored and never
+	// flushes the cache to make room.
+	before := c.Len()
+	c.Put("huge", string(make([]byte, 64)))
+	if _, ok := c.Get("huge"); ok {
+		t.Error("over-budget entry was stored")
+	}
+	if c.Len() != before {
+		t.Errorf("over-budget Put disturbed residents: Len %d → %d", before, c.Len())
+	}
+}
+
+// TestSizedRefreshCost pins that refreshing a key re-prices it: the
+// budget accounts the new cost and sheds colder entries if the refresh
+// grew past the bound.
+func TestSizedRefreshCost(t *testing.T) {
+	cost := func(k, v string) int { return len(v) }
+	c := NewSized[string, string](10, cost)
+	c.Put("a", "12")        // 2
+	c.Put("b", "12")        // 2
+	c.Put("c", "12")        // 2 → total 6
+	c.Put("c", "123456789") // c grows to 9: a and b must go
+	if got := c.Cost(); got > 10 {
+		t.Fatalf("Cost=%d exceeds the 10 budget after refresh", got)
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("refreshed entry evicted")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len=%d, want 1 (a and b shed to fit c's refresh)", c.Len())
+	}
+}
+
+// TestSizedEvictHook pins that cost-driven eviction fires the OnEvict
+// hook exactly once per shed entry, in eviction order.
+func TestSizedEvictHook(t *testing.T) {
+	cost := func(k, v string) int { return len(v) }
+	c := NewSized[string, string](6, cost)
+	var evicted []string
+	c.SetOnEvict(func(k, _ string) { evicted = append(evicted, k) })
+	c.Put("a", "123")     // 3
+	c.Put("b", "123")     // 3
+	c.Put("c", "1234567") // 7 > 6: refused, no evictions
+	if len(evicted) != 0 {
+		t.Fatalf("refused Put evicted %v", evicted)
+	}
+	c.Put("d", "12345") // 5: evicts a then b
+	if len(evicted) != 2 || evicted[0] != "a" || evicted[1] != "b" {
+		t.Fatalf("evicted %v, want [a b]", evicted)
+	}
+}

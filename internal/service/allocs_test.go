@@ -1,0 +1,117 @@
+package service
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// These tests pin the hot path's allocation behavior. CI runs them in a
+// dedicated `go test -run TestAllocs` stage so an accidental allocation
+// regression fails loudly instead of only showing up as benchmark
+// drift. Bounds are small constants, not zeros: testing.AllocsPerRun
+// amortizes pool refills after its initial GC, so a strict-zero bound
+// would be flaky by construction.
+
+// TestAllocsFastPathHit bounds the raw-bytes lookup: a hot hit builds
+// one key string and touches nothing else — no JSON decode, no hashing,
+// no config marshal.
+func TestAllocsFastPathHit(t *testing.T) {
+	srv, ts, _ := newFastTestServer(t, 0)
+	body := []byte(`{"zoo":"Lenet-c","strategy":"hypar"}`)
+	if code, resp := postJSON(t, ts.URL+"/v1/evaluate", string(body)); code != http.StatusOK {
+		t.Fatalf("seed request: status %d: %s", code, resp)
+	}
+	if _, ok := srv.tryFast("evaluate", body); !ok {
+		t.Fatal("seed request did not populate the fast path")
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := srv.tryFast("evaluate", body); !ok {
+			t.Fatal("fast-path entry evicted mid-measurement")
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("fast-path hit allocates %.1f objects per lookup, want <= 2 (one key string)", allocs)
+	}
+}
+
+// TestAllocsRequestKey bounds the canonical request hash: the pooled
+// hasher keeps the preimage buffer, digest and hex arrays across
+// requests, so deriving a key allocates only the returned string.
+func TestAllocsRequestKey(t *testing.T) {
+	srv, _, _ := newFastTestServer(t, 0)
+	p, err := srv.resolveRequest(request{Zoo: "VGG-A"}, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.key("evaluate")
+
+	allocs := testing.AllocsPerRun(200, func() {
+		if got := p.key("evaluate"); got != want {
+			t.Fatalf("key drift: %s != %s", got, want)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("key() allocates %.1f objects per call, want <= 2 (the key string)", allocs)
+	}
+}
+
+// TestAllocsZeroConfigMarshals proves base-config requests never
+// re-marshal the config: they reuse the JSON rendered once at New. The
+// package-level counter covers every request on the connection,
+// including bodies whose explicit config canonicalizes back to base.
+func TestAllocsZeroConfigMarshals(t *testing.T) {
+	_, ts, _ := newFastTestServer(t, 0)
+	before := configMarshals.Load()
+
+	baseBodies := []string{
+		`{"zoo":"Lenet-c","strategy":"hypar"}`,
+		`{"zoo":"Lenet-c"}`,
+		`{"zoo":"VGG-A","strategy":"dp","config":{}}`,
+	}
+	for _, body := range baseBodies {
+		for i := 0; i < 3; i++ {
+			if code, resp := postJSON(t, ts.URL+"/v1/evaluate", body); code != http.StatusOK {
+				t.Fatalf("%s: status %d: %s", body, code, resp)
+			}
+		}
+	}
+	if got := configMarshals.Load() - before; got != 0 {
+		t.Errorf("base-config requests marshaled the config %d times, want 0", got)
+	}
+
+	// Sanity check the counter is live: a genuinely non-base config
+	// must marshal (once per parse; replays skip it on both cache tiers).
+	if code, resp := postJSON(t, ts.URL+"/v1/evaluate", `{"zoo":"Lenet-c","config":{"batch":64}}`); code != http.StatusOK {
+		t.Fatalf("non-base config: status %d: %s", code, resp)
+	}
+	if got := configMarshals.Load() - before; got != 1 {
+		t.Errorf("non-base config marshals = %d, want 1", got)
+	}
+}
+
+// TestAllocsBodyBufferReuse pins the pool hygiene rules: body buffers
+// recycle below the cap and are dropped once grown past it, so one
+// hostile request cannot pin megabytes in the pool.
+func TestAllocsBodyBufferReuse(t *testing.T) {
+	small := getBodyBuf()
+	small.WriteString(strings.Repeat("x", 1024))
+	putBodyBuf(small)
+
+	big := getBodyBuf()
+	big.WriteString(strings.Repeat("x", bodyBufMax+1))
+	if big.Cap() <= bodyBufMax {
+		t.Fatalf("test setup: buffer cap %d did not exceed bodyBufMax", big.Cap())
+	}
+	putBodyBuf(big)
+
+	reused := getBodyBuf()
+	defer putBodyBuf(reused)
+	if reused == big {
+		t.Error("oversized buffer was pooled; putBodyBuf must drop it")
+	}
+	if reused.Len() != 0 {
+		t.Errorf("pooled buffer not reset: %d bytes resident", reused.Len())
+	}
+}

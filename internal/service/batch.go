@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 
@@ -71,6 +72,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
 	dec.DisallowUnknownFields()
 	var req batchRequest
 	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return errTooLarge(mbe.Limit)
+		}
 		return badRequest(fmt.Errorf("%w: body: %v", ErrService, err))
 	}
 	if len(req.Items) == 0 {

@@ -41,16 +41,12 @@ type degradeResponse struct {
 // nothing to degrade, and the request is rejected rather than silently
 // collapsing into /v1/compare.
 func (s *Server) handleDegrade(w http.ResponseWriter, r *http.Request) error {
-	p, err := s.parseRequest(r, false, false)
-	if err != nil {
-		return err
-	}
-	if p.cfg.Faults.IsZero() {
-		return badRequest(fmt.Errorf(`%w: /v1/degrade needs a fault spec (config "faults", e.g. {"level":1,"groups":2}); use /v1/compare for healthy arrays`, ErrService))
-	}
-	return s.serveCached(r, "degrade", p.key("degrade"), w, func(ctx context.Context) (response, error) {
-		return s.computeDegrade(ctx, p)
-	})
+	return s.serveBody(w, r, "degrade", false, func(p *parsed) error {
+		if p.cfg.Faults.IsZero() {
+			return badRequest(fmt.Errorf(`%w: /v1/degrade needs a fault spec (config "faults", e.g. {"level":1,"groups":2}); use /v1/compare for healthy arrays`, ErrService))
+		}
+		return nil
+	}, s.computeDegrade)
 }
 
 // degradeUnit is one (config, strategy) evaluation of the healthy ×

@@ -34,14 +34,17 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -88,6 +91,11 @@ type Options struct {
 	// CacheEntries bounds the response LRU (0 = DefaultCacheEntries,
 	// negative = caching disabled).
 	CacheEntries int
+	// RawCacheBytes bounds the raw-bytes fast path — the exact-bytes →
+	// response table consulted before any JSON decode — by the summed
+	// size of retained request and response bytes (0 =
+	// DefaultRawCacheBytes, negative = fast path disabled).
+	RawCacheBytes int
 	// SessionEntries bounds the config-keyed cache of
 	// experiments.Sessions serving non-base-config requests
 	// (0 = DefaultSessionEntries, negative = no reuse: a fresh session
@@ -125,16 +133,20 @@ type Options struct {
 type endpointStats struct {
 	requests  atomic.Int64
 	errors    atomic.Int64
+	fastHits  atomic.Int64
 	cacheHits atomic.Int64
 	coalesced atomic.Int64
 	computes  atomic.Int64
 	latencyNs atomic.Int64
 }
 
-// statsSnapshot is the JSON form of one endpoint's counters.
+// statsSnapshot is the JSON form of one endpoint's counters. fastHits
+// counts raw-bytes fast-path replays (no JSON touched); cacheHits
+// counts canonical-hash cache replays (decoded, hashed, not computed).
 type statsSnapshot struct {
 	Requests  int64 `json:"requests"`
 	Errors    int64 `json:"errors"`
+	FastHits  int64 `json:"fastHits"`
 	CacheHits int64 `json:"cacheHits"`
 	Coalesced int64 `json:"coalesced"`
 	Computes  int64 `json:"computes"`
@@ -146,6 +158,7 @@ func (e *endpointStats) snapshot() statsSnapshot {
 	return statsSnapshot{
 		Requests:  e.requests.Load(),
 		Errors:    e.errors.Load(),
+		FastHits:  e.fastHits.Load(),
 		CacheHits: e.cacheHits.Load(),
 		Coalesced: e.coalesced.Load(),
 		Computes:  e.computes.Load(),
@@ -162,8 +175,13 @@ type Server struct {
 	// — the config the shared session runs at.
 	baseRaw hypar.Config
 	base    hypar.Config
-	pool    *runner.Pool
-	session *experiments.Session
+	// baseCfgJSON is base's canonical JSON, rendered once at New: every
+	// request whose resolved config equals the base (the overwhelmingly
+	// common case — any request without a "config" override) hashes
+	// these bytes instead of re-marshaling per request.
+	baseCfgJSON []byte
+	pool        *runner.Pool
+	session     *experiments.Session
 
 	// evaluators recycles single-threaded hypar.Evaluators (engine slab
 	// + per-config Arch cache) across requests: concurrent distinct
@@ -177,6 +195,7 @@ type Server struct {
 	sessions *experiments.SessionCache
 
 	cache     *shardedLRU
+	raw       *rawCache // exact-bytes fast path (nil = disabled)
 	flight    shardedFlight
 	models    *modelCache
 	jobs      *jobTable
@@ -228,20 +247,32 @@ func New(opts Options) (*Server, error) {
 	if jobEntries == 0 {
 		jobEntries = DefaultJobEntries
 	}
+	rawBytes := opts.RawCacheBytes
+	if rawBytes == 0 {
+		rawBytes = DefaultRawCacheBytes
+	}
+	baseCfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
-		baseRaw:   raw,
-		base:      cfg,
-		pool:      pool,
-		session:   experiments.NewSessionWithPool(cfg, pool),
-		sessions:  experiments.NewSessionCache(sessEntries, pool),
-		cache:     newShardedLRU(entries, lruShardsFor(entries)),
-		jobs:      newJobTable(jobEntries),
-		onCompute: opts.OnCompute,
-		faultHook: opts.FaultHook,
-		timeout:   opts.RequestTimeout,
-		mux:       http.NewServeMux(),
-		start:     time.Now(),
-		metrics:   make(map[string]*endpointStats),
+		baseRaw:     raw,
+		base:        cfg,
+		pool:        pool,
+		baseCfgJSON: baseCfgJSON,
+		session:     experiments.NewSessionWithPool(cfg, pool),
+		sessions:    experiments.NewSessionCache(sessEntries, pool),
+		cache:       newShardedLRU(entries, lruShardsFor(entries)),
+		jobs:        newJobTable(jobEntries),
+		onCompute:   opts.OnCompute,
+		faultHook:   opts.FaultHook,
+		timeout:     opts.RequestTimeout,
+		mux:         http.NewServeMux(),
+		start:       time.Now(),
+		metrics:     make(map[string]*endpointStats),
+	}
+	if rawBytes > 0 {
+		s.raw = newRawCache(rawBytes, rawShards)
 	}
 	inflight := opts.MaxInflight
 	if inflight == 0 {
@@ -484,18 +515,34 @@ func (s *Server) errShed() error {
 type parsed struct {
 	model     *nn.Model
 	modelJSON []byte // canonical bytes, hash input
+	cfgJSON   []byte // canonical config bytes, hash input
 	strategy  hypar.Strategy
 	cfg       hypar.Config
 	free      []partition.FreeVar
 }
 
-// parseRequest decodes, resolves and canonicalizes a request body.
-// Fields that are meaningless for the endpoint (strategy on compare and
-// explore, free outside explore) are rejected rather than silently
-// folded into the request hash — accepting them would give semantically
-// identical requests different keys, defeating coalescing and caching.
+// parseRequest reads, decodes, resolves and canonicalizes a request
+// body. Fields that are meaningless for the endpoint (strategy on
+// compare and explore, free outside explore) are rejected rather than
+// silently folded into the request hash — accepting them would give
+// semantically identical requests different keys, defeating coalescing
+// and caching. A body over MaxRequestBytes is a 413, not a 400 — the
+// request may be well-formed, the server just refuses to read it.
 func (s *Server) parseRequest(r *http.Request, wantStrategy, wantFree bool) (*parsed, error) {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, MaxRequestBytes))
+	buf := getBodyBuf()
+	defer putBodyBuf(buf)
+	if err := readBody(r, MaxRequestBytes, buf); err != nil {
+		return nil, err
+	}
+	return s.parseBody(buf.Bytes(), wantStrategy, wantFree)
+}
+
+// parseBody decodes, resolves and canonicalizes an already-read
+// request body — the slow path behind the raw-bytes fast path. Nothing
+// in the returned parsed aliases body, so callers may release a pooled
+// body buffer once parseBody returns.
+func (s *Server) parseBody(body []byte, wantStrategy, wantFree bool) (*parsed, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	var req request
 	if err := dec.Decode(&req); err != nil {
@@ -559,6 +606,18 @@ func (s *Server) resolveRequest(req request, wantStrategy, wantFree bool) (*pars
 	if err := p.cfg.Validate(); err != nil {
 		return nil, badRequest(err)
 	}
+	if p.cfg == s.base {
+		// The common case — no config override, or one that resolves
+		// back to the base — reuses the JSON rendered once at New.
+		p.cfgJSON = s.baseCfgJSON
+	} else {
+		b, err := json.Marshal(p.cfg)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		configMarshals.Add(1)
+		p.cfgJSON = b
+	}
 
 	if len(req.Free) > 0 && !wantFree {
 		return nil, badRequest(fmt.Errorf(`%w: "free" is not accepted here`, ErrService))
@@ -579,21 +638,59 @@ func (s *Server) resolveRequest(req request, wantStrategy, wantFree bool) (*pars
 	return p, nil
 }
 
+// configMarshals counts per-request config re-marshals on the key
+// path. Base-config requests must never marshal — they reuse the JSON
+// rendered once at New — and the allocation tests pin that at zero.
+var configMarshals atomic.Int64
+
+// keyHasher is the pooled per-request hashing state: one SHA-256, a
+// preimage scratch buffer, and fixed digest/hex arrays, so deriving a
+// request key allocates only the returned string.
+type keyHasher struct {
+	h    hash.Hash
+	buf  []byte
+	sum  [sha256.Size]byte
+	hexb [2 * sha256.Size]byte
+}
+
+// keyHashers recycles keyHashers across requests. Hashers whose
+// preimage buffer was grown by one oversized model are dropped on
+// release instead of pinned.
+var keyHashers = sync.Pool{New: func() any {
+	return &keyHasher{h: sha256.New(), buf: make([]byte, 0, 1024)}
+}}
+
 // key derives the deterministic request hash: SHA-256 over the endpoint
-// and every canonicalized request component. Two requests that mean the
-// same evaluation — whatever their field order, whitespace, default
-// spelling or config shorthand — hash identically.
+// and every canonicalized request component (the exact byte stream the
+// pre-pooled implementation hashed, so keys are stable). Two requests
+// that mean the same evaluation — whatever their field order,
+// whitespace, default spelling or config shorthand — hash identically.
 func (p *parsed) key(endpoint string) string {
-	cfgJSON, _ := json.Marshal(p.cfg) // struct marshal cannot fail
-	h := sha256.New()
-	for _, part := range [][]byte{[]byte(endpoint), p.modelJSON, cfgJSON, []byte(p.strategy.String())} {
-		h.Write(part)
-		h.Write([]byte{0})
-	}
+	k := keyHashers.Get().(*keyHasher)
+	b := k.buf[:0]
+	b = append(b, endpoint...)
+	b = append(b, 0)
+	b = append(b, p.modelJSON...)
+	b = append(b, 0)
+	b = append(b, p.cfgJSON...)
+	b = append(b, 0)
+	b = append(b, p.strategy.String()...)
+	b = append(b, 0)
 	for _, fv := range p.free {
-		fmt.Fprintf(h, "%d.%d,", fv.Level, fv.Layer)
+		b = strconv.AppendInt(b, int64(fv.Level), 10)
+		b = append(b, '.')
+		b = strconv.AppendInt(b, int64(fv.Layer), 10)
+		b = append(b, ',')
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	k.buf = b
+	k.h.Reset()
+	k.h.Write(b)
+	hex.Encode(k.hexb[:], k.h.Sum(k.sum[:0]))
+	key := string(k.hexb[:])
+	if cap(k.buf) <= bodyBufMax {
+		keyHashers.Put(k)
+	}
+	return key
 }
 
 // ---------------------------------------------------------------------------
@@ -872,20 +969,52 @@ func (s *Server) resolveRetry(waitCtx, computeCtx context.Context, endpoint, key
 	}
 }
 
-// serveCached resolves the key under the request's deadline and writes
-// the rendered response. The wait context derives from the client's
-// (disconnects stop a follower's wait); the compute context does not —
-// it carries only the server timeout, so a shared computation survives
-// the disconnect of whichever request happened to lead it.
-func (s *Server) serveCached(r *http.Request, endpoint, key string, w http.ResponseWriter, compute func(ctx context.Context) (response, error)) error {
+// serveBody is the read → fast path → parse → hash → resolve pipeline
+// shared by the non-streaming POST endpoints (plan, evaluate, compare,
+// degrade). The verbatim body is looked up in the raw-bytes cache
+// before any JSON is touched; a miss falls through to the full decode
+// → canonicalize → SHA-256 path, and every successful resolution —
+// computed, coalesced or canonical-cache hit — seeds the fast path so
+// the next request with these exact bytes replays without
+// encoding/json. check (if non-nil) runs endpoint-specific validation
+// on the parsed request before any work is keyed.
+//
+// The wait context derives from the client's (disconnects stop a
+// follower's wait); the compute context does not — it carries only the
+// server timeout, so a shared computation survives the disconnect of
+// whichever request happened to lead it.
+func (s *Server) serveBody(w http.ResponseWriter, r *http.Request, endpoint string, wantStrategy bool, check func(*parsed) error, compute func(context.Context, *parsed) (response, error)) error {
+	buf := getBodyBuf()
+	defer putBodyBuf(buf)
+	if err := readBody(r, MaxRequestBytes, buf); err != nil {
+		return err
+	}
+	body := buf.Bytes()
+	if resp, ok := s.tryFast(endpoint, body); ok {
+		s.metrics[endpoint].fastHits.Add(1)
+		writeResponse(w, resp)
+		return nil
+	}
+	p, err := s.parseBody(body, wantStrategy, false)
+	if err != nil {
+		return err
+	}
+	if check != nil {
+		if err := check(p); err != nil {
+			return err
+		}
+	}
 	waitCtx, cancelWait := s.deadlineCtx(r.Context())
 	defer cancelWait()
 	computeCtx, cancelCompute := s.deadlineCtx(nil)
 	defer cancelCompute()
-	resp, err := s.resolveCtx(waitCtx, computeCtx, endpoint, key, compute)
+	resp, err := s.resolveCtx(waitCtx, computeCtx, endpoint, p.key(endpoint), func(ctx context.Context) (response, error) {
+		return compute(ctx, p)
+	})
 	if err != nil {
 		return err
 	}
+	s.storeFast(endpoint, body, resp)
 	writeResponse(w, resp)
 	return nil
 }
@@ -916,13 +1045,7 @@ func (s *Server) runShared(ctx context.Context, m *nn.Model, st hypar.Strategy, 
 
 // handlePlan answers POST /v1/plan.
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) error {
-	p, err := s.parseRequest(r, true, false)
-	if err != nil {
-		return err
-	}
-	return s.serveCached(r, "plan", p.key("plan"), w, func(ctx context.Context) (response, error) {
-		return s.computePlan(ctx, p)
-	})
+	return s.serveBody(w, r, "plan", true, nil, s.computePlan)
 }
 
 // computePlan renders the /v1/plan response for a resolved request.
@@ -941,13 +1064,7 @@ func (s *Server) computePlan(ctx context.Context, p *parsed) (response, error) {
 
 // handleEvaluate answers POST /v1/evaluate.
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) error {
-	p, err := s.parseRequest(r, true, false)
-	if err != nil {
-		return err
-	}
-	return s.serveCached(r, "evaluate", p.key("evaluate"), w, func(ctx context.Context) (response, error) {
-		return s.computeEvaluate(ctx, p)
-	})
+	return s.serveBody(w, r, "evaluate", true, nil, s.computeEvaluate)
 }
 
 // computeEvaluate renders the /v1/evaluate response for a resolved
@@ -970,13 +1087,7 @@ func (s *Server) computeEvaluate(ctx context.Context, p *parsed) (response, erro
 
 // handleCompare answers POST /v1/compare.
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) error {
-	p, err := s.parseRequest(r, false, false)
-	if err != nil {
-		return err
-	}
-	return s.serveCached(r, "compare", p.key("compare"), w, func(ctx context.Context) (response, error) {
-		return s.computeCompare(ctx, p)
-	})
+	return s.serveBody(w, r, "compare", false, nil, s.computeCompare)
 }
 
 // computeCompare renders the /v1/compare response for a resolved
@@ -1189,16 +1300,40 @@ type resilienceSnapshot struct {
 	RequestTimeoutMs int64 `json:"requestTimeoutMs"` // 0 = no deadline
 }
 
+// rawCacheSnapshot is the /statsz view of the raw-bytes fast path: its
+// byte budget, current resident bytes and entries, and stripe count.
+// All zeros when the fast path is disabled.
+type rawCacheSnapshot struct {
+	BudgetBytes int `json:"budgetBytes"`
+	Bytes       int `json:"bytes"`
+	Entries     int `json:"entries"`
+	Shards      int `json:"shards"`
+}
+
 // statszResponse is the /statsz body.
 type statszResponse struct {
 	UptimeSeconds float64                  `json:"uptimeSeconds"`
 	PoolWidth     int                      `json:"poolWidth"`
 	CacheEntries  int                      `json:"cacheEntries"`
 	CacheShards   int                      `json:"cacheShards"`
+	RawCache      rawCacheSnapshot         `json:"rawCache"`
 	Sessions      int                      `json:"sessions"`
 	Jobs          jobsSnapshot             `json:"jobs"`
 	Resilience    resilienceSnapshot       `json:"resilience"`
 	Endpoints     map[string]statsSnapshot `json:"endpoints"`
+}
+
+// rawSnapshot captures the raw-bytes fast path's occupancy.
+func (s *Server) rawSnapshot() rawCacheSnapshot {
+	if s.raw == nil {
+		return rawCacheSnapshot{}
+	}
+	return rawCacheSnapshot{
+		BudgetBytes: len(s.raw.shards) * s.raw.shards[0].Max(),
+		Bytes:       s.raw.bytes(),
+		Entries:     s.raw.len(),
+		Shards:      len(s.raw.shards),
+	}
 }
 
 // handleStatsz answers GET /statsz.
@@ -1210,6 +1345,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		PoolWidth:     s.pool.Width(),
 		CacheEntries:  s.cache.Len(),
 		CacheShards:   len(s.cache.shards),
+		RawCache:      s.rawSnapshot(),
 		Sessions:      s.sessions.Len(),
 		Jobs:          jobsSnapshot{Tracked: tracked, Active: active},
 		Resilience: resilienceSnapshot{

@@ -289,8 +289,13 @@ func TestCoalescing(t *testing.T) {
 	if got := computes.Load(); got != 1 {
 		t.Errorf("cache hit recomputed (computes=%d)", got)
 	}
-	if hits := srv.metrics["evaluate"].cacheHits.Load(); hits < 1 {
-		t.Errorf("cacheHits=%d, want >=1", hits)
+	// The replay is served from one of the two cache tiers: the exact
+	// same bytes normally land on the raw-bytes fast path, but a racing
+	// coalesced follower may have seeded only the canonical cache.
+	fast := srv.metrics["evaluate"].fastHits.Load()
+	hits := srv.metrics["evaluate"].cacheHits.Load()
+	if fast+hits < 1 {
+		t.Errorf("fastHits=%d cacheHits=%d, want >=1 combined", fast, hits)
 	}
 }
 

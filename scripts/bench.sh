@@ -20,6 +20,13 @@
 #   service.degraded.rps        degraded-array replanning: /v1/degrade's
 #                               healthy-vs-degraded fan-out per request
 #
+# Successive files are gated, not just eyeballed: `go run
+# ./scripts/benchdiff BENCH_5.json BENCH_6.json` compares them point by
+# point, normalizing host noise via the BenchmarkCalibration probe that
+# rides along in ns_per_op, and fails beyond a noise band. The hot
+# service stages warm the daemon first (loadgen -warm) so they record
+# steady-state fast-path throughput, not the first cold compute.
+#
 # BENCHTIME overrides the per-benchmark iteration count (default 10x;
 # use a duration like 1s for lower variance on quiet machines).
 # HYPARD_PORT overrides the service port (default 18923).
@@ -35,18 +42,11 @@ port="${HYPARD_PORT:-18923}"
 raw="$(go test -run '^$' -bench . -benchtime "$benchtime" .)"
 echo "$raw"
 
-ns_per_op="$(echo "$raw" | awk '
-/^Benchmark/ {
-	name=$1
-	sub(/-[0-9]+$/, "", name)
-	ns[name]=$3
-	order[++i]=name
-}
-END {
-	for (j=1; j<=i; j++) {
-		printf "    \"%s\": %s%s\n", order[j], ns[order[j]], (j<i ? "," : "")
-	}
-}')"
+# Parse ns/op by unit column (scripts/ns_per_op.awk), not by position:
+# lines with extra metrics or without an ns/op figure must not be
+# misread. BenchmarkCalibration rides along as the host-speed probe
+# scripts/benchdiff normalizes against.
+ns_per_op="$(echo "$raw" | awk -f scripts/ns_per_op.awk)"
 
 service_hot="null"
 service_mixed="null"
@@ -65,22 +65,22 @@ if [ "${SKIP_SERVICE:-0}" != "1" ]; then
 	daemon_pid=$!
 
 	echo "service throughput (hot cache):"
-	service_hot="$("$tmpdir/loadgen" -addr "127.0.0.1:${port}" -mode hot -requests 300 -concurrency 8)"
+	service_hot="$("$tmpdir/loadgen" -addr "127.0.0.1:${port}" -mode hot -warm 8 -requests 2000 -concurrency 8)"
 	echo "$service_hot"
 	echo "service throughput (mixed workload):"
-	service_mixed="$("$tmpdir/loadgen" -addr "127.0.0.1:${port}" -mode mixed -requests 300 -concurrency 8)"
+	service_mixed="$("$tmpdir/loadgen" -addr "127.0.0.1:${port}" -mode mixed -requests 2000 -concurrency 8)"
 	echo "$service_mixed"
 	echo "service throughput (batched, hot items: 300 x 16-item /v1/batch):"
-	service_batch_hot="$("$tmpdir/loadgen" -addr "127.0.0.1:${port}" -mode hot -batch 16 -requests 300 -concurrency 8)"
+	service_batch_hot="$("$tmpdir/loadgen" -addr "127.0.0.1:${port}" -mode hot -batch 16 -warm 8 -requests 300 -concurrency 8)"
 	echo "$service_batch_hot"
 	echo "service throughput (batched, mixed items: 300 x 16-item /v1/batch):"
 	service_batch_mixed="$("$tmpdir/loadgen" -addr "127.0.0.1:${port}" -mode mixed -batch 16 -requests 300 -concurrency 8)"
 	echo "$service_batch_mixed"
 	echo "service throughput (branched DAG workloads):"
-	service_branched="$("$tmpdir/loadgen" -addr "127.0.0.1:${port}" -mode branched -requests 300 -concurrency 8)"
+	service_branched="$("$tmpdir/loadgen" -addr "127.0.0.1:${port}" -mode branched -requests 2000 -concurrency 8)"
 	echo "$service_branched"
 	echo "service throughput (degraded-array replanning):"
-	service_degraded="$("$tmpdir/loadgen" -addr "127.0.0.1:${port}" -mode degraded -requests 300 -concurrency 8)"
+	service_degraded="$("$tmpdir/loadgen" -addr "127.0.0.1:${port}" -mode degraded -requests 2000 -concurrency 8)"
 	echo "$service_degraded"
 
 	kill "$daemon_pid" 2>/dev/null || true
@@ -90,7 +90,7 @@ fi
 
 {
 	printf '{\n'
-	printf '  "schema": "bench-v5",\n'
+	printf '  "schema": "bench-v6",\n'
 	printf '  "go": "%s",\n' "$(go env GOVERSION)"
 	printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
 	printf '  "benchtime": "%s",\n' "$benchtime"

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// deltaByName pulls one named delta out of a report.
+func deltaByName(t *testing.T, r report, name string) delta {
+	t.Helper()
+	for _, d := range r.Deltas {
+		if d.Name == name {
+			return d
+		}
+	}
+	t.Fatalf("no delta named %q in %+v", name, r.Deltas)
+	return delta{}
+}
+
+// TestCompareRaw covers the uncalibrated path: plain new/old ratios,
+// band classification on both sides.
+func TestCompareRaw(t *testing.T) {
+	oldDoc := doc{NsPerOp: map[string]float64{"A": 1000, "B": 1000, "C": 1000}}
+	newDoc := doc{NsPerOp: map[string]float64{"A": 1000, "B": 1400, "C": 600}}
+	r := compare(oldDoc, newDoc)
+	if r.Calibrated || !near(r.Scale, 1) {
+		t.Fatalf("uncalibrated compare got scale %v (calibrated=%v)", r.Scale, r.Calibrated)
+	}
+	const band = 0.25
+	if d := deltaByName(t, r, "A"); d.regressed(band) || d.improved(band) {
+		t.Errorf("A (1.0x) classified beyond band: %+v", d)
+	}
+	if d := deltaByName(t, r, "B"); !d.regressed(band) {
+		t.Errorf("B (1.4x) not flagged as regression: %+v", d)
+	}
+	if d := deltaByName(t, r, "C"); !d.improved(band) {
+		t.Errorf("C (0.6x) not flagged as improvement: %+v", d)
+	}
+}
+
+// TestCompareCalibrated proves host-speed normalization: a uniform
+// slowdown matching the calibration drift is no regression, and a real
+// regression hiding under a fast host is still caught.
+func TestCompareCalibrated(t *testing.T) {
+	oldDoc := doc{NsPerOp: map[string]float64{calibrationKey: 1000, "Slow": 1000, "Hot": 1000}}
+	// Host 2x slower: calibration doubled, "Slow" doubled with it (no
+	// real change), "Hot" tripled (a real 1.5x regression under the
+	// host drift).
+	newDoc := doc{NsPerOp: map[string]float64{calibrationKey: 2000, "Slow": 2000, "Hot": 3000}}
+	r := compare(oldDoc, newDoc)
+	if !r.Calibrated || !near(r.Scale, 2) {
+		t.Fatalf("scale = %v (calibrated=%v), want 2", r.Scale, r.Calibrated)
+	}
+	const band = 0.25
+	if d := deltaByName(t, r, "Slow"); !near(d.Ratio, 1) || d.regressed(band) {
+		t.Errorf("host-drift-only entry flagged: %+v", d)
+	}
+	if d := deltaByName(t, r, "Hot"); !near(d.Ratio, 1.5) || !d.regressed(band) {
+		t.Errorf("real regression under host drift missed: %+v", d)
+	}
+	for _, d := range r.Deltas {
+		if d.Name == calibrationKey {
+			t.Error("calibration key compared as a benchmark")
+		}
+	}
+}
+
+// TestCompareService covers the inverted service comparison: lower
+// throughput is the regression, and the host scale applies inversely.
+func TestCompareService(t *testing.T) {
+	oldDoc := doc{
+		NsPerOp: map[string]float64{calibrationKey: 1000},
+		Service: map[string]*svcStat{
+			"hot":     {ItemsPerSec: 10000},
+			"mixed":   {ItemsPerSec: 5000},
+			"skipped": nil,
+		},
+	}
+	newDoc := doc{
+		NsPerOp: map[string]float64{calibrationKey: 2000},
+		Service: map[string]*svcStat{
+			// Host is 2x slower; hot falling to half is pure host drift,
+			// mixed falling to an eighth is a real 4x regression.
+			"hot":     {ItemsPerSec: 5000},
+			"mixed":   {ItemsPerSec: 625},
+			"skipped": nil,
+		},
+	}
+	r := compare(oldDoc, newDoc)
+	const band = 0.25
+	if d := deltaByName(t, r, "service.hot"); !near(d.Ratio, 1) || d.regressed(band) {
+		t.Errorf("host-drift-only service entry flagged: %+v", d)
+	}
+	if d := deltaByName(t, r, "service.mixed"); !near(d.Ratio, 4) || !d.regressed(band) {
+		t.Errorf("real service regression missed: %+v", d)
+	}
+	ns, service := r.regressions(band)
+	if len(ns) != 0 {
+		t.Errorf("service regressions leaked into the ns list: %v", ns)
+	}
+	if len(service) != 1 || service[0].Name != "service.mixed" {
+		t.Errorf("service regressions = %v, want [service.mixed]", service)
+	}
+	for _, d := range r.Deltas {
+		if d.Name == "service.skipped" {
+			t.Error("null (skipped) service stage compared")
+		}
+	}
+}
+
+// TestCompareKeyChurn pins that added/retired benchmarks are listed,
+// not failed.
+func TestCompareKeyChurn(t *testing.T) {
+	oldDoc := doc{NsPerOp: map[string]float64{"Kept": 100, "Retired": 100}}
+	newDoc := doc{NsPerOp: map[string]float64{"Kept": 100, "Added": 100}}
+	r := compare(oldDoc, newDoc)
+	if !reflect.DeepEqual(r.OnlyOld, []string{"Retired"}) {
+		t.Errorf("OnlyOld = %v", r.OnlyOld)
+	}
+	if !reflect.DeepEqual(r.OnlyNew, []string{"Added"}) {
+		t.Errorf("OnlyNew = %v", r.OnlyNew)
+	}
+	if len(r.Deltas) != 1 || r.Deltas[0].Name != "Kept" {
+		t.Errorf("Deltas = %v, want just Kept", r.Deltas)
+	}
+	if ns, svc := r.regressions(0.25); len(ns)+len(svc) != 0 {
+		t.Errorf("key churn produced regressions: %v %v", ns, svc)
+	}
+}
+
+// TestCompareItemsPerSecFallback covers service entries that predate
+// itemsPerSec: rps is the figure.
+func TestCompareItemsPerSecFallback(t *testing.T) {
+	oldDoc := doc{Service: map[string]*svcStat{"hot": {RPS: 1000}}}
+	newDoc := doc{Service: map[string]*svcStat{"hot": {RPS: 500}}}
+	r := compare(oldDoc, newDoc)
+	if d := deltaByName(t, r, "service.hot"); !near(d.Ratio, 2) {
+		t.Errorf("rps fallback ratio = %v, want 2", d.Ratio)
+	}
+}
+
+// TestRender smoke-tests the table: verdict labels land on the right
+// rows.
+func TestRender(t *testing.T) {
+	oldDoc := doc{NsPerOp: map[string]float64{"Fine": 1000, "Worse": 1000}}
+	newDoc := doc{NsPerOp: map[string]float64{"Fine": 1010, "Worse": 2000}}
+	var sb strings.Builder
+	render(&sb, compare(oldDoc, newDoc), 0.25)
+	out := sb.String()
+	for _, want := range []string{"Fine", "ok", "Worse", "REGRESSED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}

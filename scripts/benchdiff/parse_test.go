@@ -1,0 +1,57 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestNsPerOpAwk regression-tests scripts/ns_per_op.awk against a
+// canned `go test -bench` transcript. The transcript bakes in every
+// line shape the positional `$3` parser got wrong or would get wrong:
+// b.ReportMetric extras, -benchmem columns, a 1-CPU host printing no
+// -N name suffix, sub-benchmark names containing dashes, and a line
+// with no ns/op figure at all (which `$3` silently misreads as
+// nanoseconds and the unit-column parser must skip).
+func TestNsPerOpAwk(t *testing.T) {
+	awk, err := exec.LookPath("awk")
+	if err != nil {
+		t.Skip("awk not on PATH")
+	}
+	transcript, err := os.ReadFile("testdata/bench_transcript.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile("testdata/ns_per_op.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(awk, "-f", "../ns_per_op.awk")
+	cmd.Stdin = strings.NewReader(string(transcript))
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("awk failed: %v\n%s", err, out)
+	}
+	if got, want := string(out), string(golden); got != want {
+		t.Errorf("ns_per_op.awk output drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// The fragment must splice into valid JSON exactly as bench.sh
+	// wraps it, and must not have picked up the ns-less line.
+	var obj map[string]float64
+	if err := json.Unmarshal([]byte("{\n"+string(out)+"}"), &obj); err != nil {
+		t.Fatalf("fragment is not valid JSON object body: %v", err)
+	}
+	if _, ok := obj["BenchmarkNoNanoseconds"]; ok {
+		t.Error("line without an ns/op figure was recorded (the $3 bug)")
+	}
+	if got := obj["BenchmarkCalibration"]; got != 2292336 {
+		t.Errorf("calibration = %v, want 2292336", got)
+	}
+	if got := obj["BenchmarkPartitionSearchLinearity/Lenet-c"]; got != 12536 {
+		t.Errorf("sub-benchmark with dashed name = %v, want 12536 (suffix strip too greedy?)", got)
+	}
+}

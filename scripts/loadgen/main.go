@@ -29,6 +29,10 @@
 // issue), so `-requests R -batch N` pushes R×N items in R round trips —
 // the batch-vs-single comparison bench.sh records.
 //
+// -warm N replays the run's first N bodies untimed before measuring,
+// so a hot run records steady-state cache throughput instead of
+// averaging in the first cold compute.
+//
 // Usage:
 //
 //	loadgen -addr 127.0.0.1:8080 -requests 200 -concurrency 8 -mode hot
@@ -142,6 +146,7 @@ func main() {
 		batch   = flag.Int("batch", 0, "items per request through /v1/batch (0 = single requests)")
 		conc    = flag.Int("concurrency", 8, "concurrent clients")
 		mode    = flag.String("mode", "hot", "hot | mixed | branched | degraded")
+		warm    = flag.Int("warm", 0, "untimed warmup requests before measuring (replays the run's first bodies so hot runs record steady-state cache throughput, not the first compute)")
 		wait    = flag.Duration("wait", 15*time.Second, "wait for /healthz before starting")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		retries = flag.Int("retries", 4, "retry budget per request for shed (429/503) responses")
@@ -158,6 +163,22 @@ func main() {
 	if err := waitHealthy(client, base, *wait); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
+	}
+
+	// Warmup: replay the exact bodies the timed run will open with, so
+	// their computations (and the daemon's raw-bytes fast path) are
+	// primed. Failures here are the measured run's problem to report.
+	for i := 0; i < *warm; i++ {
+		reqBody := body(*mode, i)
+		if *batch > 0 {
+			reqBody = batchBody(*mode, i*(*batch), *batch)
+		}
+		resp, err := client.Post(base+*path, "application/json", bytes.NewReader([]byte(reqBody)))
+		if err != nil {
+			continue
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
 	}
 
 	var (

@@ -1,0 +1,27 @@
+# ns_per_op.awk — extract ns/op figures from `go test -bench` output as
+# the body lines of a JSON object (4-space indent, comma-separated), the
+# fragment bench.sh splices into BENCH_N.json.
+#
+# The value is parsed by unit column: whatever field precedes the
+# literal "ns/op", wherever that lands on the line. Positional $3 is
+# wrong the moment a line's shape shifts — a benchmark fast enough that
+# the ns/op column is omitted entirely (its $3 is the next metric's
+# value, silently recorded as nanoseconds), or extra metrics from
+# b.ReportMetric/-benchmem changing the field count. A line with no
+# ns/op unit is skipped, not misread.
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	for (f = 2; f <= NF; f++) {
+		if ($f == "ns/op") {
+			ns[name] = $(f - 1)
+			order[++i] = name
+			break
+		}
+	}
+}
+END {
+	for (j = 1; j <= i; j++) {
+		printf "    \"%s\": %s%s\n", order[j], ns[order[j]], (j < i ? "," : "")
+	}
+}
