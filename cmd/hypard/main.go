@@ -17,6 +17,13 @@
 //	hypard -addr :8080 -workers 4 -cache 512 -batch 256 -levels 4
 //	hypard -addr :8080 -jobs 128 -sessions 64
 //	hypard -addr :8080 -timeout 30s -inflight 64
+//	hypard -addr :8081 -self http://h1:8081 -peers http://h1:8081,http://h2:8082
+//
+// In cluster mode (-self/-peers) each canonical request hash is owned
+// by exactly one replica via a consistent-hash ring; non-owners fill
+// from the owner over /peer/v1/fetch, so the fleet's caches add instead
+// of duplicating and coalescing works fleet-wide. Validate the topology
+// first with `hypardctl validate`.
 //
 // SIGINT/SIGTERM drain in-flight requests — NDJSON streams and async
 // jobs included — and exit cleanly.
@@ -31,6 +38,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -69,6 +77,9 @@ func run(args []string, w io.Writer, ready func(addr string, stop func())) error
 		timeout  = fs.Duration("timeout", 0, "per-request evaluation deadline (0 = none); exceeded requests answer 504")
 		inflight = fs.Int("inflight", 0, "max concurrent evaluations before shedding 429 (0 = 8x pool width, negative = unlimited)")
 		drain    = fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		self     = fs.String("self", "", `this replica's peer URL, e.g. "http://10.0.0.1:8080" (cluster mode; requires -peers)`)
+		peers    = fs.String("peers", "", "comma-separated peer URLs of the whole fleet, including -self (cluster mode)")
+		vnodes   = fs.Int("vnodes", 0, "consistent-hash virtual nodes per replica (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +96,15 @@ func run(args []string, w io.Writer, ready func(addr string, stop func())) error
 		cfg.Faults = f
 	}
 
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+	}
+
 	pool := runner.New(*workers)
 	srv, err := service.New(service.Options{
 		Config:         cfg,
@@ -95,6 +115,9 @@ func run(args []string, w io.Writer, ready func(addr string, stop func())) error
 		JobEntries:     *jobs,
 		RequestTimeout: *timeout,
 		MaxInflight:    *inflight,
+		Self:           *self,
+		Peers:          peerList,
+		VNodes:         *vnodes,
 	})
 	if err != nil {
 		return err

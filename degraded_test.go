@@ -147,6 +147,120 @@ func TestDegradedPlanShrinks(t *testing.T) {
 	}
 }
 
+// TestDegradedGroups pins the survivor-group arithmetic the grouped
+// replanning candidate builds on.
+func TestDegradedGroups(t *testing.T) {
+	cases := []struct {
+		faults hypar.Faults
+		groups int
+		depth  int
+	}{
+		{hypar.Faults{}, 0, 0},
+		{hypar.Faults{Level: 1, Groups: 1}, 3, 2}, // 12 survivors in 3 groups of 4
+		{hypar.Faults{Level: 1, Groups: 2}, 2, 2}, // 8 survivors, power of two
+		{hypar.Faults{Level: 0, Groups: 1}, 1, 3}, // half the array, one intact group
+		{hypar.Faults{Level: 3, Groups: 1}, 15, 0},
+		{hypar.Faults{Level: 2, Groups: 3}, 5, 1},
+	}
+	for _, tc := range cases {
+		c := hypar.DefaultConfig() // levels = 4
+		c.Faults = tc.faults
+		g, d := c.DegradedGroups()
+		if g != tc.groups || d != tc.depth {
+			t.Errorf("%v: DegradedGroups() = (%d, %d), want (%d, %d)",
+				tc.faults, g, d, tc.groups, tc.depth)
+		}
+	}
+}
+
+// TestGroupedReplanNeverSlower checks the non-power-of-two replanning
+// contract: for a 1:1 fault (12 survivors, aligned snap uses 8) the
+// evaluated result is never slower than the aligned sub-array plan
+// alone, across every model in the zoo and every strategy.
+func TestGroupedReplanNeverSlower(t *testing.T) {
+	c := hypar.DefaultConfig()
+	c.Faults = hypar.Faults{Level: 1, Groups: 1}
+	sawGrouped := false
+	for _, m := range hypar.Zoo() {
+		name := m.Name
+		for _, s := range hypar.Strategies {
+			e := hypar.NewEvaluator()
+			aligned, err := hypar.NewPlan(m, s, c)
+			if err != nil {
+				t.Fatalf("%s/%v: aligned plan: %v", name, s, err)
+			}
+			base, err := e.Simulate(m, s, aligned, c)
+			if err != nil {
+				t.Fatalf("%s/%v: aligned simulate: %v", name, s, err)
+			}
+			res, err := e.Run(m, s, c)
+			if err != nil {
+				t.Fatalf("%s/%v: Run: %v", name, s, err)
+			}
+			if res.Stats.StepSeconds > base.Stats.StepSeconds {
+				t.Errorf("%s/%v: degraded Run step %g > aligned step %g — grouped candidate made it worse",
+					name, s, res.Stats.StepSeconds, base.Stats.StepSeconds)
+			}
+			switch res.DegradedGroups {
+			case 0:
+				if res.Stats.StepSeconds != base.Stats.StepSeconds {
+					t.Errorf("%s/%v: aligned result with step %g != simulated %g",
+						name, s, res.Stats.StepSeconds, base.Stats.StepSeconds)
+				}
+			case 3:
+				sawGrouped = true
+				if res.Stats.StepSeconds >= base.Stats.StepSeconds {
+					t.Errorf("%s/%v: grouped result kept without improving (%g >= %g)",
+						name, s, res.Stats.StepSeconds, base.Stats.StepSeconds)
+				}
+				if got := res.Plan.NumAccelerators(); got != 4 {
+					t.Errorf("%s/%v: grouped plan spans %d accelerators per group, want 4", name, s, got)
+				}
+				if len(res.Stats.CommSeconds) != c.Levels {
+					t.Errorf("%s/%v: grouped CommSeconds has %d levels, want %d",
+						name, s, len(res.Stats.CommSeconds), c.Levels)
+				}
+			default:
+				t.Errorf("%s/%v: DegradedGroups = %d, want 0 or 3", name, s, res.DegradedGroups)
+			}
+		}
+	}
+	if !sawGrouped {
+		t.Error("no model/strategy selected the grouped 3-way candidate; replanning never engaged")
+	}
+}
+
+// TestGroupedReplanPowerOfTwoUnchanged pins that power-of-two survivor
+// counts (the 1:2 spec all goldens use) never take the grouped path:
+// Run must be byte-for-byte the aligned plan+simulate.
+func TestGroupedReplanPowerOfTwoUnchanged(t *testing.T) {
+	m, err := hypar.ModelByName("AlexNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := hypar.DefaultConfig()
+	c.Faults = hypar.Faults{Level: 1, Groups: 2}
+	e := hypar.NewEvaluator()
+	aligned, err := hypar.NewPlan(m, hypar.HyPar, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := e.Simulate(m, hypar.HyPar, aligned, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(m, hypar.HyPar, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DegradedGroups != 0 {
+		t.Fatalf("DegradedGroups = %d for a power-of-two survivor set, want 0", res.DegradedGroups)
+	}
+	if res.Stats.StepSeconds != base.Stats.StepSeconds {
+		t.Fatalf("1:2 Run step %g != aligned step %g", res.Stats.StepSeconds, base.Stats.StepSeconds)
+	}
+}
+
 func TestCompareDegraded(t *testing.T) {
 	m, err := hypar.ModelByName("AlexNet")
 	if err != nil {

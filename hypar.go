@@ -410,6 +410,19 @@ func (c Config) EffectiveLevels() int {
 	return bits.Len(uint(s)) - 1
 }
 
+// DegradedGroups returns the surviving group count G at the fault level
+// and the depth of each group's intact sub-array (group size 2^depth).
+// Zero groups for a healthy array. When G is not a power of two, the
+// survivors hold more accelerators than the largest aligned sub-array
+// EffectiveLevels snaps to — Evaluator.RunCtx exploits that with
+// group-level data parallelism across all G groups.
+func (c Config) DegradedGroups() (groups, depth int) {
+	if c.Faults.IsZero() {
+		return 0, 0
+	}
+	return (1 << uint(c.Faults.Level+1)) - c.Faults.Groups, c.Levels - c.Faults.Level - 1
+}
+
 // dtype resolves the configured precision.
 func (c Config) dtype() (tensor.DType, error) {
 	switch c.Precision {
@@ -521,6 +534,12 @@ type Result struct {
 	Strategy Strategy
 	Plan     *Plan
 	Stats    *Stats
+	// DegradedGroups is non-zero when a degraded evaluation ran as
+	// group-level data parallelism across a non-power-of-two survivor
+	// set instead of snapping to the largest aligned sub-array: the
+	// number of surviving groups the batch was split across. Plan then
+	// describes one group's sub-array partition.
+	DegradedGroups int
 }
 
 // Run plans and simulates one training step.
@@ -563,12 +582,127 @@ func (e *Evaluator) Run(m *Model, s Strategy, c Config) (*Result, error) {
 
 // RunCtx is Run with cancellation threaded into the partition search
 // (see NewPlanCtx). A nil ctx never cancels.
+//
+// With a fault spec whose surviving group count is not a power of two,
+// the aligned sub-array EffectiveLevels snaps to strands part of the
+// surviving hardware (Faults{1,1} on 16 accelerators leaves 12
+// survivors, but an aligned plan uses only 8). RunCtx additionally evaluates
+// the grouped candidate — every surviving group running the sub-array
+// plan on a batch shard, gradients allreduced across groups — and
+// returns whichever step is faster, so degraded slowdowns can only
+// improve over the aligned snap.
 func (e *Evaluator) RunCtx(ctx context.Context, m *Model, s Strategy, c Config) (*Result, error) {
 	plan, err := NewPlanCtx(ctx, m, s, c)
 	if err != nil {
 		return nil, err
 	}
-	return e.Simulate(m, s, plan, c)
+	res, err := e.Simulate(m, s, plan, c)
+	if err != nil {
+		return nil, err
+	}
+	if g, _ := c.DegradedGroups(); g > 1 && g&(g-1) != 0 {
+		alt, aerr := e.runGrouped(ctx, m, s, c, g)
+		if aerr != nil {
+			// The grouped candidate is an optimization: its failure
+			// never fails the aligned evaluation — except a canceled
+			// context, which must keep its promptness contract.
+			if ctx != nil && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return res, nil
+		}
+		if alt.Stats.StepSeconds < res.Stats.StepSeconds {
+			return alt, nil
+		}
+	}
+	return res, nil
+}
+
+// runGrouped evaluates the non-power-of-two degraded candidate: all G
+// surviving groups (each an intact 2^depth sub-array) run group-level
+// data parallelism — the batch splits evenly across groups, each group
+// plans and simulates its shard at the group depth, and the full weight
+// gradients allreduce across groups over the healthy fabric after every
+// step. The allreduce is charged conservatively: ceil(log2(G)) pairwise
+// full-gradient exchanges, each through the tree cut nearest the fault
+// level and then progressively higher cuts — the recursive-halving
+// schedule an irregular group count cannot beat.
+func (e *Evaluator) runGrouped(ctx context.Context, m *Model, s Strategy, c Config, groups int) (*Result, error) {
+	_, depth := c.DegradedGroups()
+	sub := c
+	sub.Faults = Faults{}
+	sub.Levels = depth
+	sub.Batch = (c.Batch + groups - 1) / groups
+	if err := sub.Validate(); err != nil {
+		return nil, err
+	}
+	plan, err := NewPlanCtx(ctx, m, s, sub)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.Simulate(m, s, plan, sub)
+	if err != nil {
+		return nil, err
+	}
+
+	// Cross-group gradient traffic rides the healthy array's fabric:
+	// the surviving groups sit under the physical topology's upper
+	// cuts, failed subtrees notwithstanding.
+	healthy := c
+	healthy.Faults = Faults{}
+	arch, err := e.Arch(healthy)
+	if err != nil {
+		return nil, err
+	}
+	weightElems, err := m.Params(c.Batch)
+	if err != nil {
+		return nil, err
+	}
+
+	st := *res.Stats
+	// Re-home the group-internal communication onto the physical level
+	// it runs at: group-internal cut i is healthy cut Faults.Level+1+i.
+	comm := make([]float64, c.Levels)
+	for i, v := range res.Stats.CommSeconds {
+		if li := c.Faults.Level + 1 + i; li < len(comm) {
+			comm[li] += v
+		}
+	}
+	// Group results aggregate across G concurrent groups: times stay
+	// (groups run in parallel), array-wide totals scale.
+	g := float64(groups)
+	st.EnergyCompute *= g
+	st.EnergySRAM *= g
+	st.EnergyDRAM *= g
+	st.EnergyLink *= g
+	st.DRAMBytes *= g
+	st.CommBytes *= g
+	st.Tasks *= groups
+
+	// The allreduce: both directions of a full-gradient exchange per
+	// round (the simulator's 2× pair counting).
+	bytes := 2 * float64(weightElems) * float64(arch.DType.Size())
+	rounds := bits.Len(uint(groups - 1)) // ceil(log2(G))
+	for r := 0; r < rounds; r++ {
+		h := c.Faults.Level - r
+		if h < 0 {
+			h = 0
+		}
+		tt, err := arch.NoC.TransferTime(h, bytes)
+		if err != nil {
+			return nil, err
+		}
+		linkBytes, err := arch.NoC.LinkBytes(h, bytes)
+		if err != nil {
+			return nil, err
+		}
+		st.StepSeconds += tt
+		comm[h] += tt
+		st.CommBytes += bytes
+		st.EnergyLink += arch.Mem.LinkEnergy(linkBytes)
+	}
+	st.CommSeconds = comm
+	return &Result{Strategy: s, Plan: plan, Stats: &st, DegradedGroups: groups}, nil
 }
 
 // Simulate evaluates an already-computed plan under the configuration.

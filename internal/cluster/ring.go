@@ -1,0 +1,154 @@
+// Package cluster provides the multi-replica building blocks of a
+// hypard fleet: a consistent-hash ring that assigns each canonical
+// request hash to exactly one owning replica (so the fleet's cache
+// capacity adds instead of duplicating, and coalescing works
+// fleet-wide), and the deployment topology spec that hypardctl
+// validates before any replica boots.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ErrRing reports an invalid ring construction.
+var ErrRing = errors.New("cluster: invalid ring")
+
+// DefaultVNodes is the virtual-node count per replica when a caller
+// leaves it zero: enough points that key ownership stays within a few
+// percent of fair share (the ring tests pin ±15% at this setting) while
+// keeping the ring small enough to rebuild on every membership change.
+const DefaultVNodes = 128
+
+// pointsPerVNode is how many ring points each virtual node contributes
+// (ketama-style). Share variance on a ring falls as 1/sqrt(points), and
+// 128 vnodes alone leaves ~±20% skew; four points per vnode brings the
+// worst member within the ±15% fairness band without inflating the
+// advertised vnode count.
+const pointsPerVNode = 4
+
+// ringPoint is one virtual node: a position on the 64-bit circle owned
+// by one member.
+type ringPoint struct {
+	hash   uint64
+	member int32
+}
+
+// Ring is a consistent-hash ring with virtual nodes. Every key maps to
+// exactly one member — the owner of the first virtual node clockwise
+// from the key's hash — and the assignment depends only on the member
+// set and vnode count, never on insertion order, so every replica
+// handed the same peer list computes the same ownership. Membership
+// changes remap only the keys adjacent to the departed or arrived
+// member's virtual nodes: about 1/N of the key space, the property the
+// ring tests pin. A Ring is immutable and safe for concurrent use.
+type Ring struct {
+	vnodes  int
+	members []string
+	points  []ringPoint
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche mix of one 64-bit
+// word (the same construction internal/faultinject uses for its
+// decision hash).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ringHash mixes a string onto the 64-bit circle: FNV-1a for the bulk,
+// finished with mix64 — FNV alone barely mixes its final bytes, which
+// would cluster the "#i" vnode suffixes.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// NewRing builds a ring over the member names (for hypard, peer URLs)
+// with the given virtual-node count per member (0 = DefaultVNodes).
+// Members are deduplicated against, not silently merged: a repeated
+// member is a configuration error, because the duplicate would own a
+// double share of the key space under one name.
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("%w: no members", ErrRing)
+	}
+	if vnodes == 0 {
+		vnodes = DefaultVNodes
+	}
+	if vnodes < 1 {
+		return nil, fmt.Errorf("%w: %d virtual nodes per member", ErrRing, vnodes)
+	}
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	for i, m := range sorted {
+		if m == "" {
+			return nil, fmt.Errorf("%w: empty member name", ErrRing)
+		}
+		if i > 0 && sorted[i-1] == m {
+			return nil, fmt.Errorf("%w: duplicate member %q", ErrRing, m)
+		}
+	}
+	r := &Ring{
+		vnodes:  vnodes,
+		members: sorted,
+		points:  make([]ringPoint, 0, len(sorted)*vnodes*pointsPerVNode),
+	}
+	for mi, m := range sorted {
+		for v := 0; v < vnodes; v++ {
+			// Each vnode seeds a short splitmix64 stream: advance the
+			// state by the golden-ratio increment, mix, and the stream
+			// yields pointsPerVNode independent circle positions.
+			h := fnv.New64a()
+			_, _ = h.Write([]byte(m + "#" + strconv.Itoa(v)))
+			seed := h.Sum64()
+			for j := 0; j < pointsPerVNode; j++ {
+				seed += 0x9e3779b97f4a7c15
+				r.points = append(r.points, ringPoint{
+					hash:   mix64(seed),
+					member: int32(mi),
+				})
+			}
+		}
+	}
+	// Sort by position; break (astronomically unlikely) hash ties by
+	// member so ownership never depends on sort stability.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r, nil
+}
+
+// Owner returns the member owning the key: the first virtual node at or
+// clockwise after the key's position, wrapping past the top of the
+// circle.
+func (r *Ring) Owner(key string) string {
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.members[r.points[i].member]
+}
+
+// Members returns the member names in sorted order. The slice is shared
+// — callers must not mutate it.
+func (r *Ring) Members() []string { return r.members }
+
+// VNodes returns the virtual-node count per member.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Size returns the total ring point count
+// (members × vnodes × points per vnode).
+func (r *Ring) Size() int { return len(r.points) }

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Shaped like the service's canonical request hashes: hex
+		// digests, no shared structure with the member names.
+		keys[i] = fmt.Sprintf("sha256:%064x", uint64(i)*0x9e3779b97f4a7c15+1)
+	}
+	return keys
+}
+
+func TestNewRingErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		members []string
+		vnodes  int
+	}{
+		{"no members", nil, 0},
+		{"empty member", []string{"http://a:1", ""}, 0},
+		{"duplicate member", []string{"http://a:1", "http://b:1", "http://a:1"}, 0},
+		{"negative vnodes", []string{"http://a:1"}, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewRing(tc.members, tc.vnodes); !errors.Is(err, ErrRing) {
+				t.Fatalf("NewRing(%v, %d) error = %v, want ErrRing", tc.members, tc.vnodes, err)
+			}
+		})
+	}
+}
+
+func TestRingDefaults(t *testing.T) {
+	r, err := NewRing([]string{"http://a:1", "http://b:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.VNodes(); got != DefaultVNodes {
+		t.Fatalf("VNodes() = %d, want DefaultVNodes %d", got, DefaultVNodes)
+	}
+	if got := r.Size(); got != 2*DefaultVNodes*pointsPerVNode {
+		t.Fatalf("Size() = %d, want %d", got, 2*DefaultVNodes*pointsPerVNode)
+	}
+	if got := r.Members(); len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:1" {
+		t.Fatalf("Members() = %v", got)
+	}
+}
+
+// Every replica boots with the same peer list but not necessarily in
+// the same order; ownership must not depend on it.
+func TestRingOrderIndependent(t *testing.T) {
+	members := []string{"http://c:3", "http://a:1", "http://b:2", "http://d:4"}
+	ref, err := NewRing(members, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := ringKeys(2000)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]string(nil), members...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r, err := NewRing(shuffled, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			if got, want := r.Owner(k), ref.Owner(k); got != want {
+				t.Fatalf("trial %d: Owner(%q) = %q with order %v, want %q", trial, k, got, shuffled, want)
+			}
+		}
+	}
+}
+
+// At 128 vnodes each member's share of a large key population must stay
+// within ±15% of fair share — the fairness property the topology
+// validator's MinVNodes bound leans on.
+func TestRingDistribution(t *testing.T) {
+	const nKeys = 30000
+	keys := ringKeys(nKeys)
+	for _, n := range []int{2, 3, 4, 5, 8} {
+		t.Run(strconv.Itoa(n)+"members", func(t *testing.T) {
+			members := make([]string, n)
+			for i := range members {
+				members[i] = fmt.Sprintf("http://replica-%d:8080", i)
+			}
+			r, err := NewRing(members, DefaultVNodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := make(map[string]int, n)
+			for _, k := range keys {
+				counts[r.Owner(k)]++
+			}
+			fair := float64(nKeys) / float64(n)
+			for _, m := range members {
+				share := float64(counts[m])
+				if share < 0.85*fair || share > 1.15*fair {
+					t.Errorf("member %s owns %d keys, outside ±15%% of fair share %.0f", m, counts[m], fair)
+				}
+			}
+		})
+	}
+}
+
+// Membership changes must remap at most (1/N + ε) of keys, and every
+// key that moves on a join must move to the new member — the minimal
+// remapping property that makes peer caches survive fleet resizes.
+func TestRingRemapOnJoin(t *testing.T) {
+	const nKeys = 30000
+	keys := ringKeys(nKeys)
+	for _, n := range []int{2, 3, 4, 7} {
+		t.Run(strconv.Itoa(n)+"to"+strconv.Itoa(n+1), func(t *testing.T) {
+			members := make([]string, n)
+			for i := range members {
+				members[i] = fmt.Sprintf("http://replica-%d:8080", i)
+			}
+			before, err := NewRing(members, DefaultVNodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			joined := fmt.Sprintf("http://replica-%d:8080", n)
+			after, err := NewRing(append(append([]string(nil), members...), joined), DefaultVNodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			moved := 0
+			for _, k := range keys {
+				ob, oa := before.Owner(k), after.Owner(k)
+				if ob == oa {
+					continue
+				}
+				moved++
+				if oa != joined {
+					t.Fatalf("key %q moved %q → %q, not to the joining member %q", k, ob, oa, joined)
+				}
+			}
+			// Fair share of the post-join ring is 1/(N+1); allow 50%
+			// slack for vnode placement variance.
+			limit := int(1.5 * float64(nKeys) / float64(n+1))
+			if moved > limit {
+				t.Errorf("join remapped %d/%d keys, over the (1/%d + ε) bound %d", moved, nKeys, n+1, limit)
+			}
+			if moved == 0 {
+				t.Error("join remapped no keys; the new member owns nothing")
+			}
+		})
+	}
+}
+
+func TestRingRemapOnLeave(t *testing.T) {
+	const nKeys = 30000
+	keys := ringKeys(nKeys)
+	for _, n := range []int{3, 4, 8} {
+		t.Run(strconv.Itoa(n)+"to"+strconv.Itoa(n-1), func(t *testing.T) {
+			members := make([]string, n)
+			for i := range members {
+				members[i] = fmt.Sprintf("http://replica-%d:8080", i)
+			}
+			before, err := NewRing(members, DefaultVNodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			departed := members[n/2]
+			after, err := NewRing(append(append([]string(nil), members[:n/2]...), members[n/2+1:]...), DefaultVNodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			moved := 0
+			for _, k := range keys {
+				ob, oa := before.Owner(k), after.Owner(k)
+				if ob == oa {
+					continue
+				}
+				moved++
+				// Only keys the departed member owned may move.
+				if ob != departed {
+					t.Fatalf("key %q moved %q → %q though %q left", k, ob, oa, departed)
+				}
+			}
+			limit := int(1.5 * float64(nKeys) / float64(n))
+			if moved > limit {
+				t.Errorf("leave remapped %d/%d keys, over the (1/%d + ε) bound %d", moved, nKeys, n, limit)
+			}
+		})
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	members := make([]string, 8)
+	for i := range members {
+		members[i] = fmt.Sprintf("http://replica-%d:8080", i)
+	}
+	r, err := NewRing(members, DefaultVNodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := ringKeys(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Owner(keys[i&1023])
+	}
+}

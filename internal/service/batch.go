@@ -149,7 +149,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
 					bl = batchLine{err: fmt.Errorf("%w: panic during evaluation: %v", ErrService, rec)}
 				}
 			}()
-			resp, err := s.resolveCtx(waitCtx, computeCtx, u.endpoint, u.key, func(cctx context.Context) (response, error) {
+			resp, err := s.resolve(waitCtx, computeCtx, u.endpoint, u.key, u.p, func(cctx context.Context) (response, error) {
 				switch u.endpoint {
 				case "plan":
 					return s.computePlan(cctx, u.p)

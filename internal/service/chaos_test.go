@@ -271,6 +271,33 @@ func TestDegradeEndpoint(t *testing.T) {
 	if dr.DegradedPlan.Accelerators != 8 {
 		t.Fatalf("degraded plan spans %d accelerators, want 8", dr.DegradedPlan.Accelerators)
 	}
+	// 1:2 survivors are a power of two: the aligned plan engages all 8.
+	if dr.DegradedGroups != 0 || dr.UsedAccelerators != 8 {
+		t.Fatalf("1:2: degradedGroups %d usedAccelerators %d, want 0 and 8",
+			dr.DegradedGroups, dr.UsedAccelerators)
+	}
+
+	// A 1:1 fault leaves 12 survivors — not a power of two. The grouped
+	// candidate (3 groups of 4) must engage for AlexNet and report the
+	// full survivor set in use.
+	code, b = postJSON(t, ts.URL+"/v1/degrade",
+		`{"zoo":"AlexNet","config":{"faults":{"level":1,"groups":1}}}`)
+	if code != http.StatusOK {
+		t.Fatalf("1:1: status %d: %s", code, b)
+	}
+	var dr11 degradeResponse
+	if err := json.Unmarshal(b, &dr11); err != nil {
+		t.Fatal(err)
+	}
+	if dr11.Survivors != 12 || dr11.DegradedGroups != 3 || dr11.UsedAccelerators != 12 {
+		t.Fatalf("1:1: survivors %d degradedGroups %d usedAccelerators %d, want 12/3/12",
+			dr11.Survivors, dr11.DegradedGroups, dr11.UsedAccelerators)
+	}
+	hp11, hp12 := dr11.Strategies["HyPar"], dr.Strategies["HyPar"]
+	if hp11.Slowdown >= hp12.Slowdown {
+		t.Errorf("1:1 slowdown %g not better than 1:2's %g despite 4 more survivors",
+			hp11.Slowdown, hp12.Slowdown)
+	}
 
 	// The strategy-less envelope still rejects explore-class fields.
 	code, _ = postJSON(t, ts.URL+"/v1/degrade",

@@ -21,15 +21,26 @@ type degradeStrategyJSON struct {
 
 // degradeResponse answers /v1/degrade.
 type degradeResponse struct {
-	Model          string                         `json:"model"`
-	Config         hypar.Config                   `json:"config"`
-	Faults         hypar.Faults                   `json:"faults"`
-	Accelerators   int                            `json:"accelerators"`
-	Survivors      int                            `json:"survivors"`
-	DegradedLevels int                            `json:"degradedLevels"`
-	Strategies     map[string]degradeStrategyJSON `json:"strategies"`
+	Model          string       `json:"model"`
+	Config         hypar.Config `json:"config"`
+	Faults         hypar.Faults `json:"faults"`
+	Accelerators   int          `json:"accelerators"`
+	Survivors      int          `json:"survivors"`
+	DegradedLevels int          `json:"degradedLevels"`
+	// DegradedGroups is non-zero when HyPar's degraded evaluation ran as
+	// group-level data parallelism across a non-power-of-two survivor
+	// set (e.g. fault 1:1 leaves 3 intact groups): the surviving group
+	// count the batch was split across. Zero means the aligned
+	// sub-array plan won (or the survivor count was a power of two).
+	DegradedGroups int `json:"degradedGroups,omitempty"`
+	// UsedAccelerators is how many surviving accelerators HyPar's
+	// replanned step actually engages: groups x group width under the
+	// grouped candidate, the aligned sub-array size (2^degradedLevels)
+	// otherwise.
+	UsedAccelerators int                            `json:"usedAccelerators"`
+	Strategies       map[string]degradeStrategyJSON `json:"strategies"`
 	// DegradedPlan is HyPar's replanned partition over the surviving
-	// sub-array.
+	// sub-array — one group's partition when degradedGroups is set.
 	DegradedPlan planJSON `json:"degradedPlan"`
 }
 
@@ -103,6 +114,11 @@ func (s *Server) computeDegrade(ctx context.Context, p *parsed) (response, error
 		}
 		resp.Strategies[st.String()] = entry
 		if st == hypar.HyPar {
+			resp.DegradedGroups = d.DegradedGroups
+			resp.UsedAccelerators = d.Plan.NumAccelerators()
+			if d.DegradedGroups > 0 {
+				resp.UsedAccelerators *= d.DegradedGroups
+			}
 			resp.DegradedPlan = planToJSON(d.Plan, p.model, p.cfg)
 		}
 	}

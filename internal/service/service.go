@@ -127,6 +127,29 @@ type Options struct {
 	// injects slowness. Chaos tests plug internal/faultinject in here;
 	// production leaves it nil.
 	FaultHook func(ctx context.Context, endpoint, key string) error
+
+	// Self is this replica's peer URL (e.g. "http://10.0.0.1:8080").
+	// Setting it (with Peers) enables cluster mode: each canonical
+	// request hash is owned by exactly one replica of the fleet, and
+	// non-owners fill from the owner over /peer/v1/fetch. Empty = the
+	// single-replica service, byte-for-byte the pre-cluster behavior.
+	Self string
+	// Peers is the full static peer list, including Self. Every replica
+	// must boot with the same list (order-independent) so their rings
+	// agree; hypardctl validate emits consistent flag sets.
+	Peers []string
+	// VNodes is the consistent-hash virtual-node count per replica
+	// (0 = cluster.DefaultVNodes).
+	VNodes int
+	// PeerClient overrides the HTTP client used for peer fetches
+	// (tests; nil = a pooled client with dial and response-header
+	// timeouts).
+	PeerClient *http.Client
+	// PeerFaultHook, when set, runs at the head of every peer fetch —
+	// the cluster counterpart of FaultHook: an error stands in for an
+	// unreachable owner and must drive the local-compute fallback.
+	// Chaos tests plug internal/faultinject in here.
+	PeerFaultHook func(ctx context.Context, endpoint, key string) error
 }
 
 // endpointStats aggregates one endpoint's counters.
@@ -213,6 +236,10 @@ type Server struct {
 	shed     atomic.Int64
 	refused  atomic.Int64
 	deadline atomic.Int64
+
+	// cluster holds the peer ring and counters in cluster mode, nil on
+	// a single-replica server.
+	cluster *clusterState
 
 	mux     *http.ServeMux
 	hs      *http.Server
@@ -321,6 +348,9 @@ func New(opts Options) (*Server, error) {
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	if err := s.initCluster(opts); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -914,39 +944,48 @@ func (s *Server) resolveCtx(waitCtx, computeCtx context.Context, endpoint, key s
 			m.cacheHits.Add(1)
 			return resp, nil
 		}
-		// Admission control: an actual evaluation takes a semaphore slot
-		// or is shed with 429 + Retry-After. Cache hits and coalesced
-		// followers never get here — they do no work and are never shed.
-		if s.admit != nil {
-			select {
-			case s.admit <- struct{}{}:
-				defer func() { <-s.admit }()
-			default:
-				return response{}, s.errShed()
-			}
-		}
-		m.computes.Add(1)
-		if s.onCompute != nil {
-			s.onCompute(endpoint, key)
-		}
-		if s.faultHook != nil {
-			if err := s.faultHook(computeCtx, endpoint, key); err != nil {
-				return response{}, err
-			}
-		}
-		if computeCtx != nil {
-			if err := computeCtx.Err(); err != nil {
-				return response{}, err
-			}
-		}
-		resp, err := compute(computeCtx)
-		if err == nil {
-			s.cache.Put(key, resp)
-		}
-		return resp, err
+		return s.computeLocked(computeCtx, m, endpoint, key, compute)
 	})
 	if !leader {
 		m.coalesced.Add(1)
+	}
+	return resp, err
+}
+
+// computeLocked runs the admission → counters → hooks → compute →
+// cache-fill tail for one key: the only place an actual evaluation
+// happens. Callers must hold the key's flight slot (or be the
+// peer-fallback path, which holds it through resolve's non-owner
+// flight).
+func (s *Server) computeLocked(computeCtx context.Context, m *endpointStats, endpoint, key string, compute func(ctx context.Context) (response, error)) (response, error) {
+	// Admission control: an actual evaluation takes a semaphore slot
+	// or is shed with 429 + Retry-After. Cache hits and coalesced
+	// followers never get here — they do no work and are never shed.
+	if s.admit != nil {
+		select {
+		case s.admit <- struct{}{}:
+			defer func() { <-s.admit }()
+		default:
+			return response{}, s.errShed()
+		}
+	}
+	m.computes.Add(1)
+	if s.onCompute != nil {
+		s.onCompute(endpoint, key)
+	}
+	if s.faultHook != nil {
+		if err := s.faultHook(computeCtx, endpoint, key); err != nil {
+			return response{}, err
+		}
+	}
+	if computeCtx != nil {
+		if err := computeCtx.Err(); err != nil {
+			return response{}, err
+		}
+	}
+	resp, err := compute(computeCtx)
+	if err == nil {
+		s.cache.Put(key, resp)
 	}
 	return resp, err
 }
@@ -1008,7 +1047,7 @@ func (s *Server) serveBody(w http.ResponseWriter, r *http.Request, endpoint stri
 	defer cancelWait()
 	computeCtx, cancelCompute := s.deadlineCtx(nil)
 	defer cancelCompute()
-	resp, err := s.resolveCtx(waitCtx, computeCtx, endpoint, p.key(endpoint), func(ctx context.Context) (response, error) {
+	resp, err := s.resolve(waitCtx, computeCtx, endpoint, p.key(endpoint), p, func(ctx context.Context) (response, error) {
 		return compute(ctx, p)
 	})
 	if err != nil {
@@ -1312,15 +1351,18 @@ type rawCacheSnapshot struct {
 
 // statszResponse is the /statsz body.
 type statszResponse struct {
-	UptimeSeconds float64                  `json:"uptimeSeconds"`
-	PoolWidth     int                      `json:"poolWidth"`
-	CacheEntries  int                      `json:"cacheEntries"`
-	CacheShards   int                      `json:"cacheShards"`
-	RawCache      rawCacheSnapshot         `json:"rawCache"`
-	Sessions      int                      `json:"sessions"`
-	Jobs          jobsSnapshot             `json:"jobs"`
-	Resilience    resilienceSnapshot       `json:"resilience"`
-	Endpoints     map[string]statsSnapshot `json:"endpoints"`
+	UptimeSeconds float64            `json:"uptimeSeconds"`
+	PoolWidth     int                `json:"poolWidth"`
+	CacheEntries  int                `json:"cacheEntries"`
+	CacheShards   int                `json:"cacheShards"`
+	RawCache      rawCacheSnapshot   `json:"rawCache"`
+	Sessions      int                `json:"sessions"`
+	Jobs          jobsSnapshot       `json:"jobs"`
+	Resilience    resilienceSnapshot `json:"resilience"`
+	// Cluster reports the peer ring and peer-fill counters; omitted on
+	// a single-replica server.
+	Cluster   *clusterSnapshot         `json:"cluster,omitempty"`
+	Endpoints map[string]statsSnapshot `json:"endpoints"`
 }
 
 // rawSnapshot captures the raw-bytes fast path's occupancy.
@@ -1357,6 +1399,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			RequestTimeoutMs: s.timeout.Milliseconds(),
 		},
 		Endpoints: make(map[string]statsSnapshot, len(s.metrics)),
+	}
+	if s.cluster != nil {
+		resp.Cluster = s.cluster.snapshot()
 	}
 	for name, m := range s.metrics {
 		resp.Endpoints[name] = m.snapshot()

@@ -33,11 +33,17 @@
 // so a hot run records steady-state cache throughput instead of
 // averaging in the first cold compute.
 //
+// -cluster spreads the traffic round-robin across a comma-separated
+// replica list instead of a single -addr, so a cluster-mode fleet sees
+// every replica answer for every key (peer fills included) instead of
+// only the key's owner.
+//
 // Usage:
 //
 //	loadgen -addr 127.0.0.1:8080 -requests 200 -concurrency 8 -mode hot
 //	loadgen -addr 127.0.0.1:8080 -wait 10s -mode mixed
 //	loadgen -addr 127.0.0.1:8080 -mode mixed -batch 16 -requests 40
+//	loadgen -cluster 127.0.0.1:8081,127.0.0.1:8082,127.0.0.1:8083 -mode hot
 package main
 
 import (
@@ -140,7 +146,8 @@ func batchBody(mode string, first, size int) string {
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "hypard host:port")
+		addr    = flag.String("addr", "127.0.0.1:8080", "hypard host:port (ignored with -cluster)")
+		cluster = flag.String("cluster", "", "comma-separated replica host:port list; requests round-robin across the fleet")
 		path    = flag.String("endpoint", "/v1/evaluate", "endpoint to hit (ignored with -batch)")
 		n       = flag.Int("requests", 200, "total requests")
 		batch   = flag.Int("batch", 0, "items per request through /v1/batch (0 = single requests)")
@@ -158,11 +165,29 @@ func main() {
 		*path = "/v1/degrade"
 	}
 
-	base := "http://" + *addr
+	// Targets: one base URL per replica; request i goes to target
+	// i%len(targets), so a -cluster run exercises every replica —
+	// including the peer-fill path on non-owners — with the same global
+	// item sequence a single-target run would issue.
+	targets := []string{"http://" + *addr}
+	if *cluster != "" {
+		targets = targets[:0]
+		for _, a := range strings.Split(*cluster, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				targets = append(targets, "http://"+a)
+			}
+		}
+		if len(targets) == 0 {
+			fmt.Fprintln(os.Stderr, "loadgen: -cluster names no replicas")
+			os.Exit(1)
+		}
+	}
 	client := &http.Client{Timeout: *timeout}
-	if err := waitHealthy(client, base, *wait); err != nil {
-		fmt.Fprintln(os.Stderr, "loadgen:", err)
-		os.Exit(1)
+	for _, base := range targets {
+		if err := waitHealthy(client, base, *wait); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
 	}
 
 	// Warmup: replay the exact bodies the timed run will open with, so
@@ -173,7 +198,7 @@ func main() {
 		if *batch > 0 {
 			reqBody = batchBody(*mode, i*(*batch), *batch)
 		}
-		resp, err := client.Post(base+*path, "application/json", bytes.NewReader([]byte(reqBody)))
+		resp, err := client.Post(targets[i%len(targets)]+*path, "application/json", bytes.NewReader([]byte(reqBody)))
 		if err != nil {
 			continue
 		}
@@ -208,7 +233,7 @@ func main() {
 				t0 := time.Now()
 				ok := false
 				for attempt := 0; ; attempt++ {
-					resp, err := client.Post(base+*path, "application/json",
+					resp, err := client.Post(targets[i%len(targets)]+*path, "application/json",
 						bytes.NewReader([]byte(reqBody)))
 					if err != nil {
 						errs.Add(1)
