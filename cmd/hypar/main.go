@@ -57,7 +57,7 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("hypar", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
-		experiment = fs.String("experiment", "", "regenerate a paper artifact: fig5..fig13, platforms, branched, degraded, ablations, all")
+		experiment = fs.String("experiment", "", "regenerate a paper artifact: fig5..fig13, platforms, branched, degraded, hetero, ablations, all")
 		model      = fs.String("model", "", "zoo or branched model to plan/simulate (e.g. VGG-A, SRES-8); see -list")
 		strategy   = fs.String("strategy", "hypar", "hypar | dp | mp | trick")
 		planOnly   = fs.Bool("plan", false, "print the partition without simulating")
@@ -67,6 +67,7 @@ func run(args []string, w io.Writer) error {
 		batch      = fs.Int("batch", 256, "mini-batch size")
 		levels     = fs.Int("levels", 4, "hierarchy depth H (2^H accelerators)")
 		plat       = fs.String("platform", "hmc", "accelerator platform: hmc | gpu-hbm | tpu-systolic")
+		platsPer   = fs.String("platforms-per-level", "", `heterogeneous array: platform per hierarchy level, comma-separated root first, e.g. "gpu-hbm,hmc,hmc,hmc" (empty slots inherit -platform)`)
 		topology   = fs.String("topology", "", "htree | torus | ideal (default: the platform's native fabric)")
 		link       = fs.Float64("link", 0, "NoC link bandwidth, Mb/s (default: the platform's native rate)")
 		overlap    = fs.Bool("overlap", false, "overlap gradient communication (ablation)")
@@ -96,6 +97,13 @@ func run(args []string, w io.Writer) error {
 	cfg := hypar.Config{
 		Batch: *batch, Levels: *levels, Platform: *plat, Topology: *topology,
 		LinkMbps: *link, OverlapGradComm: *overlap,
+	}
+	if *platsPer != "" {
+		spec, err := hypar.ParsePlatformSpec(*platsPer)
+		if err != nil {
+			return err
+		}
+		cfg.Platforms = spec
 	}
 	if *faults != "" {
 		f, err := hypar.ParseFaults(*faults)
@@ -325,8 +333,15 @@ func runModel(name, strategyName string, planOnly bool, traceFile string, cfg hy
 		fmt.Fprintf(w, "degraded array: fault %v leaves %d of %d accelerators (planning at depth %d)\n",
 			cfg.Faults, cfg.SurvivingAccelerators(), 1<<uint(cfg.Levels), cfg.EffectiveLevels())
 	}
+	platName, topoName := cfg.Platform, cfg.Topology
+	if !cfg.Platforms.IsZero() {
+		platName = string(cfg.Platforms)
+		if topoName == "" {
+			topoName = "per-level native"
+		}
+	}
 	_, err = fmt.Fprintf(w, "accelerators: %d, platform: %s, topology: %s, batch: %d\n",
-		plan.NumAccelerators(), cfg.Platform, cfg.Topology, cfg.Batch)
+		plan.NumAccelerators(), platName, topoName, cfg.Batch)
 	return err
 }
 
@@ -404,6 +419,7 @@ func runExperiments(which string, cfg hypar.Config, emit func(*report.Table) err
 		"platforms": s.PlatformTable,
 		"branched":  s.BranchedTable,
 		"degraded":  s.DegradedTable,
+		"hetero":    s.HeteroTable,
 	}
 	ablations := []run{
 		func() (*report.Table, error) { return s.AblationDepth(6, "VGG-A") },
@@ -424,7 +440,7 @@ func runExperiments(which string, cfg hypar.Config, emit func(*report.Table) err
 
 	switch which {
 	case "all":
-		for _, k := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "platforms", "branched", "degraded"} {
+		for _, k := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "platforms", "branched", "degraded", "hetero"} {
 			if err := runOne(runners[k]); err != nil {
 				return fmt.Errorf("%s: %w", k, err)
 			}
@@ -445,7 +461,7 @@ func runExperiments(which string, cfg hypar.Config, emit func(*report.Table) err
 	default:
 		r, ok := runners[which]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (fig5..fig13, platforms, branched, degraded, ablations, all)", which)
+			return fmt.Errorf("unknown experiment %q (fig5..fig13, platforms, branched, degraded, hetero, ablations, all)", which)
 		}
 		return runOne(r)
 	}

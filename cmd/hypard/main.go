@@ -71,6 +71,7 @@ func run(args []string, w io.Writer, ready func(addr string, stop func())) error
 		batch    = fs.Int("batch", 256, "default mini-batch size")
 		levels   = fs.Int("levels", 4, "default hierarchy depth H (2^H accelerators)")
 		plat     = fs.String("platform", "hmc", "default platform: hmc | gpu-hbm | tpu-systolic")
+		platsPer = fs.String("platforms-per-level", "", `default heterogeneous array: platform per hierarchy level, comma-separated root first, e.g. "gpu-hbm,hmc,hmc,hmc" (empty slots inherit -platform)`)
 		topology = fs.String("topology", "", "default topology: htree | torus | ideal (empty: the platform's native fabric)")
 		link     = fs.Float64("link", 0, "default NoC link bandwidth, Mb/s (0: the platform's native rate)")
 		faults   = fs.String("faults", "", `default degraded-array fault spec, "level:groups" (e.g. 1:2)`)
@@ -87,6 +88,13 @@ func run(args []string, w io.Writer, ready func(addr string, stop func())) error
 
 	cfg := hypar.Config{
 		Batch: *batch, Levels: *levels, Platform: *plat, Topology: *topology, LinkMbps: *link,
+	}
+	if *platsPer != "" {
+		spec, err := hypar.ParsePlatformSpec(*platsPer)
+		if err != nil {
+			return err
+		}
+		cfg.Platforms = spec
 	}
 	if *faults != "" {
 		f, err := hypar.ParseFaults(*faults)

@@ -77,8 +77,9 @@ var (
 )
 
 // DefaultPlatform is the platform an empty Config.Platform means: the
-// paper's HMC-based array.
-const DefaultPlatform = "hmc"
+// paper's HMC-based array. It aliases platform.DefaultName — the single
+// place the empty-name fallback is defined.
+const DefaultPlatform = platform.DefaultName
 
 // Layer kind constants for hand-built models.
 const (
@@ -263,6 +264,128 @@ func ParseFaults(spec string) (Faults, error) {
 	return Faults{Level: l, Groups: g}, nil
 }
 
+// PlatformSpec assigns a platform per hierarchy level for a
+// heterogeneous array. The internal form is the comma-separated
+// per-level platform names, root cut (level 0) first; an empty slot
+// inherits Config.Platform. The zero value means no per-level
+// assignment: the whole array runs Config.Platform, exactly the
+// historical behavior. The type is a plain (comparable) string so
+// Config keeps working as a map key; on the wire it marshals as an
+// object keyed by level index, e.g. {"0": "gpu-hbm", "1": "hmc"}.
+type PlatformSpec string
+
+// maxSpecLevels caps per-level assignment indices at the hierarchy
+// depth Config.Validate accepts, so hostile level keys cannot force
+// huge allocations.
+const maxSpecLevels = 20
+
+// IsZero reports whether no per-level assignment is configured. A zero
+// spec marshals to nothing under Config's omitzero tag, so
+// single-platform configs keep their historical canonical JSON byte for
+// byte.
+func (s PlatformSpec) IsZero() bool { return s == "" }
+
+// Names returns the per-level platform names, root cut first (empty
+// slots stay empty — Canonical fills them), or nil for the zero spec.
+func (s PlatformSpec) Names() []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(string(s), ",")
+}
+
+// joinSpec builds the internal comma form from per-level names.
+func joinSpec(names []string) PlatformSpec {
+	return PlatformSpec(strings.Join(names, ","))
+}
+
+// ParsePlatformSpec parses the CLI spelling: comma-separated per-level
+// platform names, root cut first, e.g. "gpu-hbm,hmc,hmc,hmc". An empty
+// slot inherits the -platform flag; the empty string means no per-level
+// assignment.
+func ParsePlatformSpec(spec string) (PlatformSpec, error) {
+	if strings.TrimSpace(spec) == "" {
+		return "", nil
+	}
+	parts := strings.Split(spec, ",")
+	if len(parts) > maxSpecLevels {
+		return "", fmt.Errorf("%w: per-level platform assignment names %d levels (max %d)",
+			ErrConfig, len(parts), maxSpecLevels)
+	}
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return joinSpec(parts), nil
+}
+
+// MarshalJSON renders the spec as its wire object, keys in ascending
+// level order (manual: Go's map marshaling sorts lexically, which
+// misorders two-digit levels). Empty slots are omitted.
+func (s PlatformSpec) MarshalJSON() ([]byte, error) {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for i, n := range s.Names() {
+		if n == "" {
+			continue
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		key, err := json.Marshal(strconv.Itoa(i))
+		if err != nil {
+			return nil, err
+		}
+		val, err := json.Marshal(n)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(key)
+		b.WriteByte(':')
+		b.Write(val)
+	}
+	b.WriteByte('}')
+	return []byte(b.String()), nil
+}
+
+// UnmarshalJSON parses the wire object {"<level>": "<platform>", ...}.
+// Levels may be sparse (holes inherit Config.Platform); keys must be
+// integer level indices within the supported hierarchy depth, and names
+// must not contain commas (the internal separator).
+func (s *PlatformSpec) UnmarshalJSON(data []byte) error {
+	var m map[string]string
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("%w: platforms: %v", ErrConfig, err)
+	}
+	if len(m) == 0 {
+		*s = ""
+		return nil
+	}
+	byLevel := make(map[int]string, len(m))
+	max := -1
+	for k, v := range m {
+		i, err := strconv.Atoi(k)
+		if err != nil || i < 0 || i >= maxSpecLevels {
+			return fmt.Errorf("%w: platforms key %q (want a level index 0..%d)",
+				ErrConfig, k, maxSpecLevels-1)
+		}
+		if strings.Contains(v, ",") {
+			return fmt.Errorf("%w: platforms level %d: invalid name %q", ErrConfig, i, v)
+		}
+		byLevel[i] = v
+		if i > max {
+			max = i
+		}
+	}
+	names := make([]string, max+1)
+	for i, v := range byLevel {
+		names[i] = v
+	}
+	*s = joinSpec(names)
+	return nil
+}
+
 // Config selects the workload and platform parameters.
 type Config struct {
 	// Batch is the mini-batch size (paper default: 256).
@@ -273,6 +396,15 @@ type Config struct {
 	// Platform names the accelerator platform: "hmc" (paper default,
 	// empty means hmc), "gpu-hbm" or "tpu-systolic" — see Platforms.
 	Platform string `json:"platform,omitempty"`
+	// Platforms optionally assigns a platform per hierarchy level for a
+	// heterogeneous array, e.g. {"0": "gpu-hbm", "1": "hmc"} — level 0
+	// is the root cut, and the deepest level's platform is the node
+	// platform doing the compute. Missing levels inherit Platform. An
+	// assignment naming one platform everywhere canonicalizes to the
+	// plain Platform form, so single-platform configs (and their request
+	// hashes) are unchanged. Where adjacent levels differ, transfers
+	// crossing the upper cut pay an explicit protocol-conversion charge.
+	Platforms PlatformSpec `json:"platforms,omitzero"`
 	// Topology is the interconnect: "htree", "torus" or "ideal". Empty
 	// means the platform's native default (htree for hmc, torus for
 	// gpu-hbm and tpu-systolic).
@@ -297,13 +429,19 @@ type Config struct {
 // Canonical normalizes the configuration to its canonical equivalent:
 // the empty precision becomes the explicit "fp32" it means, the empty
 // platform becomes "hmc", and an empty topology or zero link bandwidth
-// resolves to the named platform's native default. Two configs with
-// identical semantics therefore marshal to identical JSON — the
-// property the hypard request hash relies on. An unknown platform name
-// is left untouched for Validate to reject.
+// resolves to the named platform's native default. A per-level platform
+// assignment canonicalizes too: holes inherit Platform, and an
+// assignment naming one platform at every level collapses to the plain
+// single-platform form it means. Two configs with identical semantics
+// therefore marshal to identical JSON — the property the hypard request
+// hash relies on. An unknown platform name (or a structurally invalid
+// per-level assignment) is left untouched for Validate to reject.
 func (c Config) Canonical() Config {
 	if c.Precision == "" {
 		c.Precision = "fp32"
+	}
+	if !c.Platforms.IsZero() {
+		return c.canonicalPlatforms()
 	}
 	if c.Platform == "" {
 		c.Platform = DefaultPlatform
@@ -316,6 +454,48 @@ func (c Config) Canonical() Config {
 			c.LinkMbps = p.DefaultLinkMbps()
 		}
 	}
+	return c
+}
+
+// canonicalPlatforms normalizes a per-level platform assignment: holes
+// inherit Platform (default hmc), an all-equal assignment collapses to
+// the historical single-platform form (byte-identical canonical JSON,
+// so every existing request hash is preserved), and a genuinely mixed
+// one keeps the full explicit spec with Platform cleared and
+// Topology/LinkMbps left as given (zero means each level's native
+// default). A structurally invalid spec — wrong length or unknown
+// platform — leaves the config untouched so Validate rejects the
+// original spelling.
+func (c Config) canonicalPlatforms() Config {
+	names := c.Platforms.Names()
+	if len(names) > c.Levels {
+		return c
+	}
+	// A sparse spec names only its shallowest levels; the deeper ones
+	// are holes inheriting Platform, like any other hole.
+	for len(names) < c.Levels {
+		names = append(names, "")
+	}
+	fallback := platform.CanonicalName(c.Platform)
+	uniform := true
+	for i := range names {
+		if names[i] == "" {
+			names[i] = fallback
+		}
+		if _, err := platform.ByName(names[i]); err != nil {
+			return c
+		}
+		if names[i] != names[0] {
+			uniform = false
+		}
+	}
+	if uniform {
+		c.Platform = names[0]
+		c.Platforms = ""
+		return c.Canonical()
+	}
+	c.Platform = ""
+	c.Platforms = joinSpec(names)
 	return c
 }
 
@@ -337,26 +517,25 @@ func (c Config) Validate() error {
 	if c.Batch <= 0 {
 		return fmt.Errorf("%w: batch %d", ErrConfig, c.Batch)
 	}
-	if c.Levels < 0 || c.Levels > 20 {
+	if c.Levels < 0 || c.Levels > maxSpecLevels {
 		return fmt.Errorf("%w: levels %d", ErrConfig, c.Levels)
 	}
-	p, err := platform.ByName(c.Platform)
-	if err != nil {
-		return fmt.Errorf("%w: %v", ErrConfig, err)
-	}
-	if c.LinkMbps <= 0 {
-		return fmt.Errorf("%w: link bandwidth %g Mb/s", ErrConfig, c.LinkMbps)
-	}
-	supported := false
-	for _, t := range p.Topologies() {
-		if t == c.Topology {
-			supported = true
-			break
+	if !c.Platforms.IsZero() {
+		if err := c.validatePlatforms(); err != nil {
+			return err
 		}
-	}
-	if !supported {
-		return fmt.Errorf("%w: platform %q does not support topology %q (supported: %v)",
-			ErrConfig, c.Platform, c.Topology, p.Topologies())
+	} else {
+		p, err := platform.ByName(c.Platform)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrConfig, err)
+		}
+		if c.LinkMbps <= 0 {
+			return fmt.Errorf("%w: link bandwidth %g Mb/s", ErrConfig, c.LinkMbps)
+		}
+		if !topologySupported(p, c.Topology) {
+			return fmt.Errorf("%w: platform %q does not support topology %q (supported: %v)",
+				ErrConfig, c.Platform, c.Topology, p.Topologies())
+		}
 	}
 	if _, err := c.dtype(); err != nil {
 		return err
@@ -373,6 +552,44 @@ func (c Config) Validate() error {
 			return fmt.Errorf("%w: %d failed groups at level %d, but only %d groups exist (the whole array would be gone)",
 				ErrConfig, c.Faults.Groups, c.Faults.Level, groups)
 		}
+	}
+	return nil
+}
+
+// topologySupported reports whether the platform supports the named
+// interconnect.
+func topologySupported(p Platform, name string) bool {
+	for _, t := range p.Topologies() {
+		if t == name {
+			return true
+		}
+	}
+	return false
+}
+
+// validatePlatforms checks a (canonicalized) per-level platform
+// assignment: it must name exactly one registered platform per
+// hierarchy level, an explicit topology must be supported by every
+// level's platform, and an explicit link bandwidth must be positive
+// (zero means each level's native default).
+func (c Config) validatePlatforms() error {
+	names := c.Platforms.Names()
+	if len(names) != c.Levels {
+		return fmt.Errorf("%w: per-level platform assignment covers %d levels, hierarchy has %d",
+			ErrConfig, len(names), c.Levels)
+	}
+	for h, n := range names {
+		p, err := platform.ByName(platform.CanonicalName(n))
+		if err != nil {
+			return fmt.Errorf("%w: level %d: %v", ErrConfig, h, err)
+		}
+		if c.Topology != "" && !topologySupported(p, c.Topology) {
+			return fmt.Errorf("%w: level %d platform %q does not support topology %q (supported: %v)",
+				ErrConfig, h, p.Name(), c.Topology, p.Topologies())
+		}
+	}
+	if c.LinkMbps < 0 {
+		return fmt.Errorf("%w: link bandwidth %g Mb/s", ErrConfig, c.LinkMbps)
 	}
 	return nil
 }
@@ -441,17 +658,66 @@ func (c Config) dtype() (tensor.DType, error) {
 func (c Config) DType() (DType, error) { return c.dtype() }
 
 // PlatformFor resolves the configuration's accelerator platform
-// (applying the Canonical default for an empty name).
+// (applying the Canonical default for an empty name) through the
+// registry's single resolution path. For a heterogeneous per-level
+// assignment it returns the node platform — the deepest level's, the
+// one whose accelerators do the compute; use AssignmentFor for the full
+// per-level view.
 func PlatformFor(c Config) (Platform, error) {
-	name := c.Platform
-	if name == "" {
-		name = DefaultPlatform
+	if !c.Platforms.IsZero() {
+		a, err := AssignmentFor(c)
+		if err != nil {
+			return nil, err
+		}
+		return a.Node(), nil
 	}
-	p, err := platform.ByName(name)
+	p, err := platform.Resolve(c.Platform)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
 	}
 	return p, nil
+}
+
+// AssignmentFor resolves the configuration's per-level platform
+// assignment at the depth planning actually runs at (EffectiveLevels:
+// a degraded array keeps the deepest surviving levels, platforms
+// included). A config without a Platforms spec yields the uniform
+// assignment of its single platform.
+func AssignmentFor(c Config) (platform.Assignment, error) {
+	c = c.Canonical()
+	if c.Platforms.IsZero() {
+		p, err := platform.Resolve(c.Platform)
+		if err != nil {
+			return platform.Assignment{}, fmt.Errorf("%w: %v", ErrConfig, err)
+		}
+		a, err := platform.UniformAssignment(p, c.EffectiveLevels())
+		if err != nil {
+			return platform.Assignment{}, fmt.Errorf("%w: %v", ErrConfig, err)
+		}
+		return a, nil
+	}
+	names := c.Platforms.Names()
+	if len(names) != c.Levels {
+		return platform.Assignment{}, fmt.Errorf("%w: per-level platform assignment covers %d levels, hierarchy has %d",
+			ErrConfig, len(names), c.Levels)
+	}
+	per := make([]platform.Platform, len(names))
+	for h, n := range names {
+		p, err := platform.ByName(platform.CanonicalName(n))
+		if err != nil {
+			return platform.Assignment{}, fmt.Errorf("%w: level %d: %v", ErrConfig, h, err)
+		}
+		per[h] = p
+	}
+	a, err := platform.NewAssignment(per)
+	if err != nil {
+		return platform.Assignment{}, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	tail, err := a.Tail(c.EffectiveLevels())
+	if err != nil {
+		return platform.Assignment{}, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	return tail, nil
 }
 
 // BuildArch materializes the simulated platform for the configuration.
@@ -460,15 +726,35 @@ func BuildArch(c Config) (Arch, error) {
 		return Arch{}, err
 	}
 	c = c.Canonical()
+	dt, err := c.dtype()
+	if err != nil {
+		return Arch{}, err
+	}
+	if !c.Platforms.IsZero() {
+		// Heterogeneous array: per-level fabrics with boundary-adapter
+		// charges, per-level link energy models, node platform compute.
+		a, err := AssignmentFor(c)
+		if err != nil {
+			return Arch{}, err
+		}
+		topo, err := a.NewTopology(c.Topology, c.LinkMbps)
+		if err != nil {
+			return Arch{}, err
+		}
+		return Arch{
+			Mem:             a.Node().Memory(),
+			Comp:            a.Node().Compute(),
+			NoC:             topo,
+			DType:           dt,
+			OverlapGradComm: c.OverlapGradComm,
+			LevelMems:       a.LevelMemories(),
+		}, nil
+	}
 	p, err := PlatformFor(c)
 	if err != nil {
 		return Arch{}, err
 	}
 	topo, err := p.NewTopology(c.Topology, c.EffectiveLevels(), c.LinkMbps)
-	if err != nil {
-		return Arch{}, err
-	}
-	dt, err := c.dtype()
 	if err != nil {
 		return Arch{}, err
 	}
@@ -497,6 +783,27 @@ func NewPlan(m *Model, s Strategy, c Config) (*Plan, error) {
 func NewPlanCtx(ctx context.Context, m *Model, s Strategy, c Config) (*Plan, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
+	}
+	if !c.Canonical().Platforms.IsZero() {
+		// Heterogeneous array: the level-h run of Algorithm 1 minimizes
+		// level h's own platform weights.
+		a, err := AssignmentFor(c)
+		if err != nil {
+			return nil, err
+		}
+		ws := a.PartitionWeights()
+		switch s {
+		case HyPar:
+			return partition.HierarchicalPerLevelCtx(ctx, m, c.Batch, ws)
+		case DataParallel:
+			return partition.DataParallelPerLevel(m, c.Batch, ws)
+		case ModelParallel:
+			return partition.ModelParallelPerLevel(m, c.Batch, ws)
+		case OneWeirdTrick:
+			return partition.OneWeirdTrickPerLevel(m, c.Batch, ws)
+		default:
+			return nil, fmt.Errorf("%w: unknown strategy %v", ErrConfig, s)
+		}
 	}
 	p, err := PlatformFor(c)
 	if err != nil {
@@ -633,6 +940,11 @@ func (e *Evaluator) runGrouped(ctx context.Context, m *Model, s Strategy, c Conf
 	sub.Faults = Faults{}
 	sub.Levels = depth
 	sub.Batch = (c.Batch + groups - 1) / groups
+	if names := c.Canonical().Platforms.Names(); len(names) >= depth {
+		// Each surviving group is an intact bottom-of-hierarchy
+		// sub-array: it keeps the deepest depth levels' platforms.
+		sub.Platforms = joinSpec(names[len(names)-depth:])
+	}
 	if err := sub.Validate(); err != nil {
 		return nil, err
 	}
@@ -699,7 +1011,7 @@ func (e *Evaluator) runGrouped(ctx context.Context, m *Model, s Strategy, c Conf
 		st.StepSeconds += tt
 		comm[h] += tt
 		st.CommBytes += bytes
-		st.EnergyLink += arch.Mem.LinkEnergy(linkBytes)
+		st.EnergyLink += arch.LevelMem(h).LinkEnergy(linkBytes)
 	}
 	st.CommSeconds = comm
 	return &Result{Strategy: s, Plan: plan, Stats: &st, DegradedGroups: groups}, nil
@@ -808,6 +1120,7 @@ func ComparePlatforms(m *Model, c Config, names ...string) (*PlatformComparison,
 	for i, name := range names {
 		pc := c
 		pc.Platform = name
+		pc.Platforms = ""
 		pc.Topology = ""
 		pc.LinkMbps = 0
 		pc = pc.Canonical()

@@ -16,6 +16,7 @@ func FuzzParseTopology(f *testing.F) {
 	f.Add([]byte(`{"replicas":[{"name":"solo","addr":"localhost:8080"}]}`))
 	f.Add([]byte(`{"replicas":[{"name":"a","addr":"10.0.0.1:8080"},{"name":"b","addr":"10.0.0.1:8080"}]}`))
 	f.Add([]byte(`{"vnodes":16,"cacheEntries":64,"replicas":[{"name":"a","addr":"[::1]:8080"}]}`))
+	f.Add([]byte(`{"platformsPerLevel":{"0":"gpu-hbm","1":"hmc"},"replicas":[{"name":"a","addr":"10.0.0.1:8080","platformsPerLevel":{"0":"tpu-systolic"}}]}`))
 	f.Add([]byte(`{"replicas":null}`))
 	f.Add([]byte(`not json`))
 	f.Add([]byte(``))

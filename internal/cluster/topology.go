@@ -13,6 +13,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/platform"
 )
 
 // ErrTopology reports an invalid deployment topology.
@@ -41,6 +43,9 @@ const (
 	// (an over-capacity topology: 1 GiB of pinned response bytes per
 	// replica is a misconfiguration, not a cache).
 	MaxRawCacheBytes = 1 << 30
+	// MaxAssignLevels bounds per-level platform assignment indices,
+	// mirroring the hierarchy depth the daemon's config accepts.
+	MaxAssignLevels = 20
 )
 
 // Replica is one hypard instance of the fleet.
@@ -50,6 +55,14 @@ type Replica struct {
 	// Addr is the host:port the replica listens on and peers reach it
 	// at.
 	Addr string `json:"addr"`
+	// PlatformsPerLevel optionally spells out this replica's default
+	// per-level platform assignment (level index → platform name).
+	// Every replica's effective assignment must be identical: request
+	// hashes cover the canonical config, so a replica whose default
+	// assignment drifts from the fleet's computes different keys than
+	// the ring's owners and 409s on every /peer/v1/fetch. Validate
+	// rejects the drift before any replica boots.
+	PlatformsPerLevel map[string]string `json:"platformsPerLevel,omitempty"`
 }
 
 // URL returns the replica's peer URL.
@@ -74,8 +87,43 @@ type Topology struct {
 	// RequestTimeoutMs is the per-request evaluation deadline each
 	// replica enforces and propagates to peer fetches (0 = none).
 	RequestTimeoutMs int `json:"requestTimeoutMs,omitempty"`
+	// PlatformsPerLevel is the fleet-wide default per-level platform
+	// assignment (level index → platform name), emitted to every
+	// replica as -platforms-per-level. A replica may spell out its own
+	// PlatformsPerLevel, but it must match this one — see
+	// Replica.PlatformsPerLevel for why drift is fatal.
+	PlatformsPerLevel map[string]string `json:"platformsPerLevel,omitempty"`
 	// Replicas lists every hypard instance of the fleet.
 	Replicas []Replica `json:"replicas"`
+}
+
+// canonicalAssignment compiles a per-level platform map to its
+// canonical comma form (root cut first, holes empty), validating that
+// keys are level indices and names are registered platforms. where
+// names the spec's owner in errors.
+func canonicalAssignment(m map[string]string, where string) (string, error) {
+	if len(m) == 0 {
+		return "", nil
+	}
+	names := make([]string, MaxAssignLevels)
+	max := -1
+	for k, v := range m {
+		i, err := strconv.Atoi(k)
+		if err != nil || i < 0 || i >= MaxAssignLevels {
+			return "", fmt.Errorf("%w: %s platformsPerLevel key %q (want a level index 0..%d)",
+				ErrTopology, where, k, MaxAssignLevels-1)
+		}
+		if v != "" {
+			if _, err := platform.ByName(v); err != nil {
+				return "", fmt.Errorf("%w: %s platformsPerLevel level %d: %v", ErrTopology, where, i, err)
+			}
+		}
+		names[i] = v
+		if i > max {
+			max = i
+		}
+	}
+	return strings.Join(names[:max+1], ","), nil
 }
 
 // ParseTopology decodes and validates a topology spec. Unknown fields
@@ -172,6 +220,34 @@ func (t *Topology) Validate() error {
 	if t.RequestTimeoutMs < 0 {
 		return fmt.Errorf("%w: requestTimeoutMs %d is negative", ErrTopology, t.RequestTimeoutMs)
 	}
+	// Per-level platform assignments must agree across the whole fleet:
+	// the canonical config feeds every request hash, so one replica
+	// defaulting to a different assignment owns no key it computes and
+	// 409s on every peer fetch. Compare canonically so spelling
+	// differences ({"0":"hmc"} vs {"00":"hmc"}) don't mask — or fake —
+	// drift.
+	fleetSpec, err := canonicalAssignment(t.PlatformsPerLevel, "topology")
+	if err != nil {
+		return err
+	}
+	agreed, agreedBy := fleetSpec, "the topology"
+	for _, r := range t.Replicas {
+		spec, err := canonicalAssignment(r.PlatformsPerLevel, "replica "+strconv.Quote(r.Name))
+		if err != nil {
+			return err
+		}
+		if spec == "" {
+			continue // inherits the fleet default
+		}
+		if agreed == "" {
+			agreed, agreedBy = spec, "replica "+strconv.Quote(r.Name)
+			continue
+		}
+		if spec != agreed {
+			return fmt.Errorf("%w: replica %q platformsPerLevel %q drifts from %s's %q — a drifted replica computes request hashes no ring owner recognizes and 409s on every /peer/v1/fetch",
+				ErrTopology, r.Name, spec, agreedBy, agreed)
+		}
+	}
 	// The ring itself must be constructible over the peer URLs.
 	if _, err := NewRing(t.PeerURLs(), t.VNodes); err != nil {
 		return fmt.Errorf("%w: %v", ErrTopology, err)
@@ -212,6 +288,16 @@ func (t *Topology) Flags(i int) []string {
 	}
 	if t.RequestTimeoutMs != 0 {
 		flags = append(flags, "-timeout", (time.Duration(t.RequestTimeoutMs) * time.Millisecond).String())
+	}
+	// Validate guarantees replica and fleet specs agree, so emit
+	// whichever is spelled out (the replica's own wins as the more
+	// specific spelling of the same assignment).
+	spec, err := canonicalAssignment(r.PlatformsPerLevel, "replica")
+	if spec == "" && err == nil {
+		spec, _ = canonicalAssignment(t.PlatformsPerLevel, "topology")
+	}
+	if spec != "" {
+		flags = append(flags, "-platforms-per-level", spec)
 	}
 	return flags
 }

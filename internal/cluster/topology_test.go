@@ -132,6 +132,103 @@ func TestTopologyFlags(t *testing.T) {
 	}
 }
 
+// TestTopologyPlatformAssignment pins the per-level platform plumbing:
+// agreeing specs validate and reach the boot flags as the canonical
+// comma form, equivalent spellings don't read as drift, and a replica
+// whose assignment differs from the fleet's is rejected before boot
+// (drift means its request hashes match no ring owner and every
+// /peer/v1/fetch 409s).
+func TestTopologyPlatformAssignment(t *testing.T) {
+	t.Run("agreeing specs emit the flag", func(t *testing.T) {
+		topo, err := ParseTopology([]byte(`{
+			"platformsPerLevel": {"0": "gpu-hbm", "1": "hmc"},
+			"replicas": [
+				{"name": "a", "addr": "10.0.0.1:8080"},
+				{"name": "b", "addr": "10.0.0.2:8080", "platformsPerLevel": {"0": "gpu-hbm", "1": "hmc"}}
+			]
+		}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range topo.Replicas {
+			got := strings.Join(topo.Flags(i), " ")
+			if !strings.Contains(got, "-platforms-per-level gpu-hbm,hmc") {
+				t.Errorf("Flags(%d) = %q, want -platforms-per-level gpu-hbm,hmc", i, got)
+			}
+		}
+	})
+
+	t.Run("equivalent spellings are not drift", func(t *testing.T) {
+		// Sparse replica spec {"1":"hmc"} canonicalizes with a hole at
+		// level 0 — a different assignment than the fleet's full spec,
+		// but {"0":"hmc","1":"hmc"} twice with different key spellings
+		// must agree.
+		_, err := ParseTopology([]byte(`{
+			"platformsPerLevel": {"0": "hmc", "1": "hmc"},
+			"replicas": [
+				{"name": "a", "addr": "10.0.0.1:8080", "platformsPerLevel": {"1": "hmc", "0": "hmc"}}
+			]
+		}`))
+		if err != nil {
+			t.Fatalf("same assignment spelled differently rejected: %v", err)
+		}
+	})
+
+	t.Run("drifting replica rejected", func(t *testing.T) {
+		_, err := ParseTopology([]byte(`{
+			"platformsPerLevel": {"0": "gpu-hbm"},
+			"replicas": [
+				{"name": "a", "addr": "10.0.0.1:8080"},
+				{"name": "b", "addr": "10.0.0.2:8080", "platformsPerLevel": {"0": "tpu-systolic"}}
+			]
+		}`))
+		if !errors.Is(err, ErrTopology) {
+			t.Fatalf("error = %v, want ErrTopology", err)
+		}
+		for _, want := range []string{`replica "b"`, "tpu-systolic", "gpu-hbm", "409"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("drift error %q does not mention %q", err, want)
+			}
+		}
+	})
+
+	t.Run("replicas drift without a fleet default", func(t *testing.T) {
+		_, err := ParseTopology([]byte(`{
+			"replicas": [
+				{"name": "a", "addr": "10.0.0.1:8080", "platformsPerLevel": {"0": "hmc"}},
+				{"name": "b", "addr": "10.0.0.2:8080", "platformsPerLevel": {"0": "gpu-hbm"}}
+			]
+		}`))
+		if !errors.Is(err, ErrTopology) || !strings.Contains(err.Error(), `replica "a"`) {
+			t.Fatalf("error = %v, want drift naming the first spelled-out replica", err)
+		}
+	})
+
+	t.Run("bad specs rejected", func(t *testing.T) {
+		cases := []struct {
+			name string
+			json string
+			want string
+		}{
+			{"non-integer key", `{"platformsPerLevel":{"root":"hmc"},"replicas":[{"name":"a","addr":"h:1"}]}`, `key "root"`},
+			{"out-of-range key", `{"platformsPerLevel":{"25":"hmc"},"replicas":[{"name":"a","addr":"h:1"}]}`, `key "25"`},
+			{"negative key", `{"platformsPerLevel":{"-1":"hmc"},"replicas":[{"name":"a","addr":"h:1"}]}`, `key "-1"`},
+			{"unknown platform", `{"replicas":[{"name":"a","addr":"h:1","platformsPerLevel":{"0":"quantum"}}]}`, "quantum"},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				_, err := ParseTopology([]byte(tc.json))
+				if !errors.Is(err, ErrTopology) {
+					t.Fatalf("error = %v, want ErrTopology", err)
+				}
+				if !strings.Contains(err.Error(), tc.want) {
+					t.Fatalf("error %q does not mention %q", err, tc.want)
+				}
+			})
+		}
+	})
+}
+
 func TestTopologyProbe(t *testing.T) {
 	healthy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/healthz" {

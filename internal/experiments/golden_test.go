@@ -22,12 +22,14 @@ var updateGolden = flag.Bool("update", false, "rewrite testdata/golden files")
 // the ten-network zoo), platforms is the cross-platform comparison
 // (hmc vs gpu-hbm vs tpu-systolic, each at its native fabric), and
 // branched is the DAG-workload table (SRES-8 and Incep-2 under the
-// graph partition search), and degraded is the fault-replanning table
-// (healthy vs degraded step time after the fixed level-1 fault); if an
-// implementation change shifts any number, the diff must be reviewed
-// and the goldens regenerated deliberately — paper numbers cannot drift
-// silently, and neither can the platform divergence, the graph DP's
-// choices or the degraded replanning.
+// graph partition search), degraded is the fault-replanning table
+// (healthy vs degraded step time after the fixed level-1 fault), and
+// hetero is the heterogeneous-array table (mixed per-level platform
+// assignments with boundary conversion charges); if an implementation
+// change shifts any number, the diff must be reviewed and the goldens
+// regenerated deliberately — paper numbers cannot drift silently, and
+// neither can the platform divergence, the graph DP's choices, the
+// degraded replanning or the mixed-assignment optima.
 func goldenFigures() map[string]func(*Session) (*report.Table, error) {
 	return map[string]func(*Session) (*report.Table, error){
 		"fig6":      (*Session).Fig6,
@@ -36,6 +38,7 @@ func goldenFigures() map[string]func(*Session) (*report.Table, error) {
 		"platforms": (*Session).PlatformTable,
 		"branched":  (*Session).BranchedTable,
 		"degraded":  (*Session).DegradedTable,
+		"hetero":    (*Session).HeteroTable,
 	}
 }
 

@@ -36,8 +36,20 @@ func BruteForceCtx(ctx context.Context, pool *runner.Pool, m *nn.Model, batch, l
 	return bruteForceWith(ctx, pool, m, batch, levels, trainingCosts)
 }
 
-// bruteForceWith is BruteForceWith under an arbitrary cost model.
+// bruteForceWith is BruteForceWith under one cost model applied at
+// every level.
 func bruteForceWith(ctx context.Context, pool *runner.Pool, m *nn.Model, batch, levels int, c costs) (*Plan, error) {
+	if levels < 0 {
+		return nil, fmt.Errorf("%w: negative hierarchy depth %d", ErrPlan, levels)
+	}
+	return bruteForceLevelsWith(ctx, pool, m, batch, repeatCosts(c, levels))
+}
+
+// bruteForceLevelsWith is the exhaustive search under a per-level cost
+// model (level h scored by cs[h]) — the exactness reference the
+// heterogeneous hierarchical search is compared against.
+func bruteForceLevelsWith(ctx context.Context, pool *runner.Pool, m *nn.Model, batch int, cs []costs) (*Plan, error) {
+	levels := len(cs)
 	shapes, preds, err := prepare(m, batch, levels)
 	if err != nil {
 		return nil, err
@@ -69,7 +81,7 @@ func bruteForceWith(ctx context.Context, pool *runner.Pool, m *nn.Model, batch, 
 				}
 				assigns[b/nl][b%nl] = p
 			}
-			plan, err := evaluateShapesWith(m, batch, assigns, shapes, edges, c)
+			plan, err := evaluateShapesLevelsWith(m, batch, assigns, shapes, edges, cs)
 			if err != nil {
 				return nil, err
 			}
@@ -149,6 +161,7 @@ func exploreWith(ctx context.Context, pool *runner.Pool, m *nn.Model, batch int,
 		return nil, err
 	}
 	edges := EdgesOf(preds)
+	cs := repeatCosts(c, len(base))
 	n := 1 << uint(len(free))
 	points := make([]ExplorePoint, n)
 	chunks := runner.Chunks(n, pool.Width(), 0)
@@ -170,7 +183,7 @@ func exploreWith(ctx context.Context, pool *runner.Pool, m *nn.Model, batch int,
 				}
 				work[fv.Level][fv.Layer] = p
 			}
-			plan, err := evaluateShapesWith(m, batch, work, shapes, edges, c)
+			plan, err := evaluateShapesLevelsWith(m, batch, work, shapes, edges, cs)
 			if err != nil {
 				return err
 			}

@@ -48,6 +48,17 @@ func Evaluate(m *nn.Model, batch int, levels []Assignment) (*Plan, error) {
 // exploration) share one inference and one edge list across every plan
 // they score; edges is shared read-only (every plan aliases it).
 func evaluateShapesWith(m *nn.Model, batch int, levels []Assignment, shapes []nn.LayerShapes, edges []Edge, c costs) (*Plan, error) {
+	return evaluateShapesLevelsWith(m, batch, levels, shapes, edges, repeatCosts(c, len(levels)))
+}
+
+// evaluateShapesLevelsWith is evaluateShapesWith under a per-level cost
+// model: level h's volumes are scored by cs[h]. With every cs entry
+// identical this is exactly the single-model evaluation (same functions
+// in the same float order).
+func evaluateShapesLevelsWith(m *nn.Model, batch int, levels []Assignment, shapes []nn.LayerShapes, edges []Edge, cs []costs) (*Plan, error) {
+	if len(cs) != len(levels) {
+		return nil, fmt.Errorf("%w: %d per-level cost models for %d levels", ErrPlan, len(cs), len(levels))
+	}
 	for h, a := range levels {
 		if len(a) != len(shapes) {
 			return nil, fmt.Errorf("%w: level %d has %d choices, model %q has %d layers",
@@ -58,7 +69,7 @@ func evaluateShapesWith(m *nn.Model, batch int, levels []Assignment, shapes []nn
 	for h := range levels {
 		plan.Levels[h] = levels[h].Clone()
 	}
-	fillDetailsWith(plan, shapes, c)
+	fillDetailsLevelsWith(plan, shapes, cs)
 	return plan, nil
 }
 
@@ -119,17 +130,35 @@ func amountsAt(shapes []nn.LayerShapes, shards []tensor.Shard) []comm.LayerAmoun
 }
 
 // fillDetailsWith populates plan.Details and plan.TotalElems from the
-// plan's level assignments under the cost model, threading shard state
-// down the hierarchy. Inter-layer conversions are charged per edge
-// (plan.Edges) on the producer's boundary tensors, so a forked feature
-// map pays one conversion per disagreeing consumer.
+// plan's level assignments under one cost model applied at every level.
 func fillDetailsWith(plan *Plan, shapes []nn.LayerShapes, c costs) {
+	fillDetailsLevelsWith(plan, shapes, repeatCosts(c, len(plan.Levels)))
+}
+
+// repeatCosts expands one cost model to a per-level vector, the shape
+// the per-level evaluation paths consume. Enumeration hot paths build
+// it once outside their scan loops.
+func repeatCosts(c costs, levels int) []costs {
+	cs := make([]costs, levels)
+	for h := range cs {
+		cs[h] = c
+	}
+	return cs
+}
+
+// fillDetailsLevelsWith populates plan.Details and plan.TotalElems from
+// the plan's level assignments, scoring level h under cs[h] and
+// threading shard state down the hierarchy. Inter-layer conversions are
+// charged per edge (plan.Edges) on the producer's boundary tensors, so
+// a forked feature map pays one conversion per disagreeing consumer.
+func fillDetailsLevelsWith(plan *Plan, shapes []nn.LayerShapes, cs []costs) {
 	nl := len(shapes)
 	shards := make([]tensor.Shard, nl)
 	plan.Details = make([]LevelDetail, len(plan.Levels))
 	plan.TotalElems = 0
 
 	for h, assign := range plan.Levels {
+		c := cs[h]
 		amounts := amountsAt(shapes, shards)
 		d := LevelDetail{
 			IntraFwd:  make([]float64, nl),

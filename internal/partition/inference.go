@@ -2,6 +2,7 @@ package partition
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/comm"
 	"repro/internal/nn"
@@ -45,12 +46,24 @@ func HierarchicalInference(m *nn.Model, batch, levels int) (*Plan, error) {
 	return hierarchicalWith(nil, m, batch, levels, inferenceCosts)
 }
 
-// hierarchicalWith is Hierarchical parameterized by the cost model.
-// Each level's optimum comes from the graph form of Algorithm 1, which
-// for chains is the paper's recurrence unchanged. The context (nil =
-// never cancels) is checked between hierarchy levels and inside the
-// per-level frontier DP.
+// hierarchicalWith is Hierarchical parameterized by one cost model
+// applied at every level.
 func hierarchicalWith(ctx context.Context, m *nn.Model, batch, levels int, c costs) (*Plan, error) {
+	if levels < 0 {
+		return nil, fmt.Errorf("%w: negative hierarchy depth %d", ErrPlan, levels)
+	}
+	return hierarchicalLevelsWith(ctx, m, batch, repeatCosts(c, levels))
+}
+
+// hierarchicalLevelsWith is Hierarchical parameterized by a per-level
+// cost model: the level-h run of Algorithm 1 minimizes cs[h], so a
+// heterogeneous array scores each cut with the platform actually
+// serving it. Each level's optimum comes from the graph form of
+// Algorithm 1, which for chains is the paper's recurrence unchanged.
+// The context (nil = never cancels) is checked between hierarchy levels
+// and inside the per-level frontier DP.
+func hierarchicalLevelsWith(ctx context.Context, m *nn.Model, batch int, cs []costs) (*Plan, error) {
+	levels := len(cs)
 	shapes, preds, err := prepare(m, batch, levels)
 	if err != nil {
 		return nil, err
@@ -63,7 +76,7 @@ func hierarchicalWith(ctx context.Context, m *nn.Model, batch, levels int, c cos
 			return nil, err
 		}
 		amounts := amountsAt(shapes, shards)
-		_, assign, err := twoWayGraphWith(ctx, amounts, preds, c)
+		_, assign, err := twoWayGraphWith(ctx, amounts, preds, cs[h])
 		if err != nil {
 			return nil, err
 		}
@@ -72,6 +85,6 @@ func hierarchicalWith(ctx context.Context, m *nn.Model, batch, levels int, c cos
 			shards[l] = shards[l].Apply(assign[l] == comm.DP)
 		}
 	}
-	fillDetailsWith(plan, shapes, c)
+	fillDetailsLevelsWith(plan, shapes, cs)
 	return plan, nil
 }

@@ -178,6 +178,116 @@ func BruteForceWeightedCtx(ctx context.Context, pool *runner.Pool, m *nn.Model, 
 	return bruteForceWith(ctx, pool, m, batch, levels, w.costs())
 }
 
+// levelCosts compiles a per-level weights vector to the per-level cost
+// models the search internals consume, validating every entry.
+func levelCosts(ws []Weights) ([]costs, error) {
+	cs := make([]costs, len(ws))
+	for h, w := range ws {
+		if err := w.Validate(); err != nil {
+			return nil, fmt.Errorf("level %d: %w", h, err)
+		}
+		cs[h] = w.costs()
+	}
+	return cs, nil
+}
+
+// HierarchicalPerLevel is Hierarchical (Algorithm 2) under a per-level
+// cost model: the level-h run of Algorithm 1 minimizes ws[h] — each cut
+// of a heterogeneous array is scored with the communication weights of
+// the platform actually serving it. The hierarchy depth is len(ws).
+// With every entry identical this is exactly HierarchicalWeighted.
+func HierarchicalPerLevel(m *nn.Model, batch int, ws []Weights) (*Plan, error) {
+	return HierarchicalPerLevelCtx(nil, m, batch, ws)
+}
+
+// HierarchicalPerLevelCtx is HierarchicalPerLevel with cancellation
+// (see HierarchicalCtx). A nil ctx never cancels.
+func HierarchicalPerLevelCtx(ctx context.Context, m *nn.Model, batch int, ws []Weights) (*Plan, error) {
+	cs, err := levelCosts(ws)
+	if err != nil {
+		return nil, err
+	}
+	return hierarchicalLevelsWith(ctx, m, batch, cs)
+}
+
+// EvaluatePerLevel is Evaluate under a per-level cost model: level h's
+// recorded volumes are scored by ws[h]. len(ws) must equal len(levels).
+func EvaluatePerLevel(m *nn.Model, batch int, levels []Assignment, ws []Weights) (*Plan, error) {
+	cs, err := levelCosts(ws)
+	if err != nil {
+		return nil, err
+	}
+	shapes, preds, err := prepare(m, batch, len(levels))
+	if err != nil {
+		return nil, err
+	}
+	return evaluateShapesLevelsWith(m, batch, levels, shapes, EdgesOf(preds), cs)
+}
+
+// DataParallelPerLevel is the Data Parallelism baseline with volumes
+// recorded under a per-level cost model (depth len(ws)).
+func DataParallelPerLevel(m *nn.Model, batch int, ws []Weights) (*Plan, error) {
+	return uniformPlanPerLevel(m, batch, comm.DP, ws)
+}
+
+// ModelParallelPerLevel is the Model Parallelism baseline with volumes
+// recorded under a per-level cost model (depth len(ws)).
+func ModelParallelPerLevel(m *nn.Model, batch int, ws []Weights) (*Plan, error) {
+	return uniformPlanPerLevel(m, batch, comm.MP, ws)
+}
+
+// OneWeirdTrickPerLevel is Krizhevsky's configuration with volumes
+// recorded under a per-level cost model (depth len(ws)).
+func OneWeirdTrickPerLevel(m *nn.Model, batch int, ws []Weights) (*Plan, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	a := make(Assignment, len(m.Layers))
+	for l, layer := range m.Layers {
+		if layer.Type == nn.FC {
+			a[l] = comm.MP
+		} else {
+			a[l] = comm.DP
+		}
+	}
+	assigns := make([]Assignment, len(ws))
+	for h := range assigns {
+		assigns[h] = a.Clone()
+	}
+	return EvaluatePerLevel(m, batch, assigns, ws)
+}
+
+// uniformPlanPerLevel builds a uniform plan evaluated under a per-level
+// cost model.
+func uniformPlanPerLevel(m *nn.Model, batch int, p comm.Parallelism, ws []Weights) (*Plan, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	assigns := make([]Assignment, len(ws))
+	for h := range assigns {
+		assigns[h] = Uniform(len(m.Layers), p)
+	}
+	return EvaluatePerLevel(m, batch, assigns, ws)
+}
+
+// BruteForcePerLevelWith is the exhaustive search minimizing the
+// per-level weighted objective — the exactness reference
+// HierarchicalPerLevel is compared against in the mixed-assignment
+// conformance suite.
+func BruteForcePerLevelWith(pool *runner.Pool, m *nn.Model, batch int, ws []Weights) (*Plan, error) {
+	return BruteForcePerLevelCtx(nil, pool, m, batch, ws)
+}
+
+// BruteForcePerLevelCtx is BruteForcePerLevelWith with cancellation
+// (see BruteForceCtx). A nil ctx never cancels.
+func BruteForcePerLevelCtx(ctx context.Context, pool *runner.Pool, m *nn.Model, batch int, ws []Weights) (*Plan, error) {
+	cs, err := levelCosts(ws)
+	if err != nil {
+		return nil, err
+	}
+	return bruteForceLevelsWith(ctx, pool, m, batch, cs)
+}
+
 // ExploreWeightedWith is ExploreWith with every point's volumes
 // recorded under platform cost weights.
 func ExploreWeightedWith(pool *runner.Pool, m *nn.Model, batch int, base []Assignment, free []FreeVar, w Weights) ([]ExplorePoint, error) {

@@ -34,6 +34,27 @@ import (
 // configuration.
 var ErrPlatform = errors.New("platform: invalid platform")
 
+// DefaultName is the platform an empty name means everywhere a
+// platform is named: the paper's HMC-based array.
+const DefaultName = "hmc"
+
+// CanonicalName maps the empty platform name to DefaultName and leaves
+// every other name untouched. Every layer that resolves a possibly
+// empty platform name goes through here (or Resolve), so the fallback
+// lives in exactly one place.
+func CanonicalName(name string) string {
+	if name == "" {
+		return DefaultName
+	}
+	return name
+}
+
+// Resolve is ByName with the empty-name default applied: the one
+// resolution path from a config's platform name to its Platform.
+func Resolve(name string) (Platform, error) {
+	return ByName(CanonicalName(name))
+}
+
 // Compute models one accelerator node's compute engine: how long a
 // layer phase's MACs take, and how many local-memory bytes the phase
 // moves. internal/pe (row-stationary), internal/gpu (SIMT occupancy)

@@ -1,0 +1,93 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestHeteroRequestHashDistinct pins that per-level platform
+// assignments are part of the request identity: two different mixed
+// assignments and the homogeneous config all hash to distinct keys (so
+// caching and coalescing never conflate them) and return different
+// evaluations.
+func TestHeteroRequestHashDistinct(t *testing.T) {
+	keys := make(map[string]bool)
+	srv, err := New(Options{
+		OnCompute: func(_, key string) { keys[key] = true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	bodies := []string{
+		`{"zoo":"Lenet-c"}`,
+		`{"zoo":"Lenet-c","config":{"platforms":{"0":"gpu-hbm"}}}`,
+		`{"zoo":"Lenet-c","config":{"platforms":{"0":"tpu-systolic","1":"tpu-systolic"}}}`,
+	}
+	responses := make(map[string]string)
+	for _, body := range bodies {
+		code, resp := postJSON(t, ts.URL+"/v1/evaluate", body)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", body, code, resp)
+		}
+		if prev, dup := responses[string(resp)]; dup {
+			t.Errorf("requests %s and %s returned byte-identical evaluations", prev, body)
+		}
+		responses[string(resp)] = body
+	}
+	if len(keys) != len(bodies) {
+		t.Errorf("%d requests computed %d distinct hashes, want %d", len(bodies), len(keys), len(bodies))
+	}
+}
+
+// TestHeteroUniformSpecCanonicalHash pins the hash-preservation
+// guarantee: a per-level assignment naming the default platform at
+// every level canonicalizes to the plain single-platform config, so it
+// hashes identically to a request that never mentioned platforms — a
+// cache hit, not a recompute.
+func TestHeteroUniformSpecCanonicalHash(t *testing.T) {
+	_, ts, computes := newTestServer(t)
+	code, _ := postJSON(t, ts.URL+"/v1/evaluate", `{"zoo":"Lenet-c"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	before := computes.Load()
+	code, _ = postJSON(t, ts.URL+"/v1/evaluate",
+		`{"zoo":"Lenet-c","config":{"platforms":{"0":"hmc","1":"hmc","2":"hmc","3":"hmc"}}}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if after := computes.Load(); after != before {
+		t.Errorf("uniform per-level spec recomputed (%d -> %d computes), want cache hit", before, after)
+	}
+	// Sparse spelling: holes inherit the config's platform, so an
+	// object naming only level 0 as the default also collapses.
+	before = computes.Load()
+	code, _ = postJSON(t, ts.URL+"/v1/evaluate", `{"zoo":"Lenet-c","config":{"platforms":{"0":"hmc"}}}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if after := computes.Load(); after != before {
+		t.Errorf("sparse default spec recomputed (%d -> %d computes), want cache hit", before, after)
+	}
+}
+
+// TestHeteroInvalidSpecRejected proves malformed per-level assignments
+// are 400s, not served evaluations: an unknown platform name, a
+// non-integer level key, and an out-of-range level index.
+func TestHeteroInvalidSpecRejected(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	for _, body := range []string{
+		`{"zoo":"Lenet-c","config":{"platforms":{"0":"quantum"}}}`,
+		`{"zoo":"Lenet-c","config":{"platforms":{"root":"hmc"}}}`,
+		`{"zoo":"Lenet-c","config":{"platforms":{"25":"hmc"}}}`,
+	} {
+		code, resp := postJSON(t, ts.URL+"/v1/evaluate", body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (want 400): %s", body, code, resp)
+		}
+	}
+}

@@ -24,6 +24,16 @@ type Arch struct {
 	NoC   noc.Topology
 	DType tensor.DType
 
+	// LevelMems optionally overrides the energy model per hierarchy
+	// level for link accounting: level h's transfers charge
+	// LevelMems[h].LinkEnergy instead of Mem's, so a heterogeneous array
+	// bills each cut's bytes at that cut's platform. Nil (the
+	// single-platform array) charges everything to Mem — the historical
+	// accounting, byte for byte. Compute, DRAM and capacity stay on Mem:
+	// the node platform owns the accelerators regardless of what fabrics
+	// sit above them.
+	LevelMems []platform.Memory
+
 	// OverlapGradComm lets gradient partial-sum exchanges proceed
 	// concurrently with the remaining backward sweep instead of
 	// serializing phase by phase. The paper's simulator executes the
@@ -65,7 +75,25 @@ func (a Arch) Validate() error {
 	if a.NoC == nil {
 		return fmt.Errorf("%w: nil topology", ErrSim)
 	}
+	for h, m := range a.LevelMems {
+		if m == nil {
+			return fmt.Errorf("%w: nil level-%d memory model", ErrSim, h)
+		}
+		if err := m.Validate(); err != nil {
+			return fmt.Errorf("level %d: %w", h, err)
+		}
+	}
 	return nil
+}
+
+// LevelMem returns the energy model billing hierarchy level h's link
+// bytes: the per-level override when present, the node memory model
+// otherwise.
+func (a Arch) LevelMem(h int) platform.Memory {
+	if h >= 0 && h < len(a.LevelMems) {
+		return a.LevelMems[h]
+	}
+	return a.Mem
 }
 
 // Stats aggregates the outcome of simulating one training step.
@@ -177,6 +205,10 @@ func simulateOn(eng *Engine, m *nn.Model, plan *partition.Plan, arch Arch) (*Sta
 	if arch.NoC.Levels() < levels {
 		return nil, fmt.Errorf("%w: topology has %d levels, plan needs %d",
 			ErrSim, arch.NoC.Levels(), levels)
+	}
+	if arch.LevelMems != nil && len(arch.LevelMems) < levels {
+		return nil, fmt.Errorf("%w: %d per-level memory models, plan needs %d",
+			ErrSim, len(arch.LevelMems), levels)
 	}
 
 	b := stepBuilder{
@@ -414,7 +446,7 @@ func (b *stepBuilder) transferChain(name string, vols func(h int) float64, prev 
 		if err != nil {
 			return nil, err
 		}
-		b.stats.EnergyLink += b.arch.Mem.LinkEnergy(linkBytes)
+		b.stats.EnergyLink += b.arch.LevelMem(h).LinkEnergy(linkBytes)
 		id := ""
 		if b.named {
 			id = fmt.Sprintf("%s@H%d", name, h+1)

@@ -19,6 +19,9 @@
 #                               partition search + DAG simulation path
 #   service.degraded.rps        degraded-array replanning: /v1/degrade's
 #                               healthy-vs-degraded fan-out per request
+#   service.hetero.rps          heterogeneous arrays: per-level platform
+#                               assignments through the composite-fabric
+#                               evaluation path
 #
 # Successive files are gated, not just eyeballed: `go run
 # ./scripts/benchdiff BENCH_5.json BENCH_6.json` compares them point by
@@ -54,6 +57,7 @@ service_batch_hot="null"
 service_batch_mixed="null"
 service_branched="null"
 service_degraded="null"
+service_hetero="null"
 daemon_pid=""
 if [ "${SKIP_SERVICE:-0}" != "1" ]; then
 	tmpdir="$(mktemp -d)"
@@ -82,6 +86,9 @@ if [ "${SKIP_SERVICE:-0}" != "1" ]; then
 	echo "service throughput (degraded-array replanning):"
 	service_degraded="$("$tmpdir/loadgen" -addr "127.0.0.1:${port}" -mode degraded -requests 2000 -concurrency 8)"
 	echo "$service_degraded"
+	echo "service throughput (heterogeneous per-level platforms):"
+	service_hetero="$("$tmpdir/loadgen" -addr "127.0.0.1:${port}" -mode hetero -requests 2000 -concurrency 8)"
+	echo "$service_hetero"
 
 	kill "$daemon_pid" 2>/dev/null || true
 	wait "$daemon_pid" 2>/dev/null || true
@@ -90,7 +97,7 @@ fi
 
 {
 	printf '{\n'
-	printf '  "schema": "bench-v6",\n'
+	printf '  "schema": "bench-v7",\n'
 	printf '  "go": "%s",\n' "$(go env GOVERSION)"
 	printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
 	printf '  "benchtime": "%s",\n' "$benchtime"
@@ -103,7 +110,8 @@ fi
 	printf '    "batch_hot": %s,\n' "$service_batch_hot"
 	printf '    "batch_mixed": %s,\n' "$service_batch_mixed"
 	printf '    "branched": %s,\n' "$service_branched"
-	printf '    "degraded": %s\n' "$service_degraded"
+	printf '    "degraded": %s,\n' "$service_degraded"
+	printf '    "hetero": %s\n' "$service_hetero"
 	printf '  }\n'
 	printf '}\n'
 } >"$out"

@@ -17,6 +17,9 @@
 //	-mode degraded cycles zoo models × batch sizes through /v1/degrade
 //	               with a fixed fault spec (exercises healthy-vs-degraded
 //	               replanning)
+//	-mode hetero   cycles zoo models × per-level platform assignments ×
+//	               batch sizes (exercises the heterogeneous-array path:
+//	               per-level weights, composite fabric, boundary charges)
 //
 // Shed requests (429/503) are retried with jittered exponential
 // backoff, honoring the server's Retry-After; requests still shed after
@@ -105,11 +108,25 @@ const branchedModel = `{"name":"lg-dag","input":{"h":16,"w":16,"c":3},"layers":[
 	`{"name":"c","type":"conv","k":3,"pad":1,"cout":16,"inputs":["b1","b2"],"join":"add"},` +
 	`{"name":"f","type":"fc","cout":10}]}`
 
+// heteroSpecs are mixed per-level platform assignments (sparse specs —
+// unnamed levels inherit the daemon's base platform), kept literal like
+// zooNames so loadgen stays daemon-agnostic.
+var heteroSpecs = []string{
+	`{"0":"gpu-hbm"}`,
+	`{"0":"tpu-systolic","1":"tpu-systolic"}`,
+	`{"0":"gpu-hbm","1":"tpu-systolic"}`,
+}
+
 // body renders the i-th request body for the mode.
 func body(mode string, i int) string {
 	switch mode {
 	case "hot":
 		return `{"zoo":"VGG-A","strategy":"hypar"}`
+	case "hetero":
+		name := zooNames[i%len(zooNames)]
+		spec := heteroSpecs[(i/len(zooNames))%len(heteroSpecs)]
+		batch := 64 << uint((i/(len(zooNames)*len(heteroSpecs)))%3) // 64, 128, 256
+		return fmt.Sprintf(`{"zoo":%q,"config":{"batch":%d,"platforms":%s}}`, name, batch, spec)
 	case "degraded":
 		name := zooNames[i%len(zooNames)]
 		batch := 64 << uint((i/len(zooNames))%3) // 64, 128, 256
@@ -152,7 +169,7 @@ func main() {
 		n       = flag.Int("requests", 200, "total requests")
 		batch   = flag.Int("batch", 0, "items per request through /v1/batch (0 = single requests)")
 		conc    = flag.Int("concurrency", 8, "concurrent clients")
-		mode    = flag.String("mode", "hot", "hot | mixed | branched | degraded")
+		mode    = flag.String("mode", "hot", "hot | mixed | branched | degraded | hetero")
 		warm    = flag.Int("warm", 0, "untimed warmup requests before measuring (replays the run's first bodies so hot runs record steady-state cache throughput, not the first compute)")
 		wait    = flag.Duration("wait", 15*time.Second, "wait for /healthz before starting")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout")
