@@ -57,7 +57,7 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("hypar", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
-		experiment = fs.String("experiment", "", "regenerate a paper artifact: fig5..fig13, platforms, branched, degraded, hetero, ablations, all")
+		experiment = fs.String("experiment", "", "regenerate a paper artifact: fig5..fig13, platforms, branched, degraded, hetero, beam, ablations, all")
 		model      = fs.String("model", "", "zoo or branched model to plan/simulate (e.g. VGG-A, SRES-8); see -list")
 		strategy   = fs.String("strategy", "hypar", "hypar | dp | mp | trick")
 		planOnly   = fs.Bool("plan", false, "print the partition without simulating")
@@ -71,6 +71,8 @@ func run(args []string, w io.Writer) error {
 		topology   = fs.String("topology", "", "htree | torus | ideal (default: the platform's native fabric)")
 		link       = fs.Float64("link", 0, "NoC link bandwidth, Mb/s (default: the platform's native rate)")
 		overlap    = fs.Bool("overlap", false, "overlap gradient communication (ablation)")
+		search     = fs.String("search", "", "partition search: hierarchical (exact, default) | brute | beam")
+		beamWidth  = fs.Int("beam-width", 0, "beam search width (0 = default 64; only with -search beam)")
 		faults     = fs.String("faults", "", `degraded array: failed groups as "level:groups", e.g. 1:2`)
 		remote     = fs.String("remote", "", "hypard base URL: evaluate -model (comma-separated list) via the daemon's /v1/batch instead of in-process")
 		repeat     = fs.Int("repeat", 1, "with -remote: post the identical batch N times (later rounds replay the daemon's raw-bytes fast path; per-round timings on stderr)")
@@ -97,6 +99,7 @@ func run(args []string, w io.Writer) error {
 	cfg := hypar.Config{
 		Batch: *batch, Levels: *levels, Platform: *plat, Topology: *topology,
 		LinkMbps: *link, OverlapGradComm: *overlap,
+		SearchMethod: *search, BeamWidth: *beamWidth,
 	}
 	if *platsPer != "" {
 		spec, err := hypar.ParsePlatformSpec(*platsPer)
@@ -420,6 +423,7 @@ func runExperiments(which string, cfg hypar.Config, emit func(*report.Table) err
 		"branched":  s.BranchedTable,
 		"degraded":  s.DegradedTable,
 		"hetero":    s.HeteroTable,
+		"beam":      s.BeamTable,
 	}
 	ablations := []run{
 		func() (*report.Table, error) { return s.AblationDepth(6, "VGG-A") },
@@ -440,7 +444,7 @@ func runExperiments(which string, cfg hypar.Config, emit func(*report.Table) err
 
 	switch which {
 	case "all":
-		for _, k := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "platforms", "branched", "degraded", "hetero"} {
+		for _, k := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "platforms", "branched", "degraded", "hetero", "beam"} {
 			if err := runOne(runners[k]); err != nil {
 				return fmt.Errorf("%s: %w", k, err)
 			}
@@ -461,7 +465,7 @@ func runExperiments(which string, cfg hypar.Config, emit func(*report.Table) err
 	default:
 		r, ok := runners[which]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (fig5..fig13, platforms, branched, degraded, hetero, ablations, all)", which)
+			return fmt.Errorf("unknown experiment %q (fig5..fig13, platforms, branched, degraded, hetero, beam, ablations, all)", which)
 		}
 		return runOne(r)
 	}

@@ -75,6 +75,8 @@ func run(args []string, w io.Writer, ready func(addr string, stop func())) error
 		topology = fs.String("topology", "", "default topology: htree | torus | ideal (empty: the platform's native fabric)")
 		link     = fs.Float64("link", 0, "default NoC link bandwidth, Mb/s (0: the platform's native rate)")
 		faults   = fs.String("faults", "", `default degraded-array fault spec, "level:groups" (e.g. 1:2)`)
+		search   = fs.String("search", "", "default partition search: hierarchical (exact) | brute | beam")
+		beamW    = fs.Int("beam-width", 0, "default beam search width (0 = 64; only with -search beam)")
 		timeout  = fs.Duration("timeout", 0, "per-request evaluation deadline (0 = none); exceeded requests answer 504")
 		inflight = fs.Int("inflight", 0, "max concurrent evaluations before shedding 429 (0 = 8x pool width, negative = unlimited)")
 		drain    = fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
@@ -88,6 +90,7 @@ func run(args []string, w io.Writer, ready func(addr string, stop func())) error
 
 	cfg := hypar.Config{
 		Batch: *batch, Levels: *levels, Platform: *plat, Topology: *topology, LinkMbps: *link,
+		SearchMethod: *search, BeamWidth: *beamW,
 	}
 	if *platsPer != "" {
 		spec, err := hypar.ParsePlatformSpec(*platsPer)

@@ -424,6 +424,17 @@ type Config struct {
 	// is a healthy array and is omitted from the canonical JSON, so
 	// fault-free configs hash identically to historical ones.
 	Faults Faults `json:"faults,omitzero"`
+	// SearchMethod selects the partition search algorithm for the HyPar
+	// strategy: "" or "hierarchical" (also "graph") is the exact
+	// per-level DP, "brute" the exhaustive reference, "beam" the
+	// bounded-width beam search that plans graphs too wide for the exact
+	// DP's frontier. The empty default is omitted from the canonical
+	// JSON, so existing configs hash identically.
+	SearchMethod string `json:"searchMethod,omitempty"`
+	// BeamWidth bounds the beam search's kept states per layer
+	// (searchMethod "beam" only; zero canonicalizes to the default
+	// width, and any width is cleared under non-beam methods).
+	BeamWidth int `json:"beamWidth,omitempty"`
 }
 
 // Canonical normalizes the configuration to its canonical equivalent:
@@ -440,6 +451,7 @@ func (c Config) Canonical() Config {
 	if c.Precision == "" {
 		c.Precision = "fp32"
 	}
+	c = c.canonicalSearch()
 	if !c.Platforms.IsZero() {
 		return c.canonicalPlatforms()
 	}
@@ -452,6 +464,36 @@ func (c Config) Canonical() Config {
 		}
 		if c.LinkMbps == 0 {
 			c.LinkMbps = p.DefaultLinkMbps()
+		}
+	}
+	return c
+}
+
+// maxBeamWidth bounds the beam width a config may request; each state
+// holds a full assignment prefix, so an unbounded width would let one
+// request allocate arbitrary memory.
+const maxBeamWidth = 1 << 16
+
+// canonicalSearch normalizes the search-method fields: method names
+// fold to lower case, the aliases of the default exact search
+// ("hierarchical", "graph") collapse to the empty string it means (so
+// spelling the default explicitly hashes identically to omitting it),
+// a beam request with zero width becomes the explicit default width,
+// and a width under any non-beam method is dropped (it is meaningless
+// there). Unknown method names are left untouched for Validate to
+// reject.
+func (c Config) canonicalSearch() Config {
+	switch strings.ToLower(c.SearchMethod) {
+	case "", "hierarchical", "graph":
+		c.SearchMethod = ""
+		c.BeamWidth = 0
+	case "brute":
+		c.SearchMethod = "brute"
+		c.BeamWidth = 0
+	case "beam":
+		c.SearchMethod = "beam"
+		if c.BeamWidth == 0 {
+			c.BeamWidth = partition.DefaultBeamWidth
 		}
 	}
 	return c
@@ -519,6 +561,13 @@ func (c Config) Validate() error {
 	}
 	if c.Levels < 0 || c.Levels > maxSpecLevels {
 		return fmt.Errorf("%w: levels %d", ErrConfig, c.Levels)
+	}
+	if _, err := partition.ParseMethod(c.SearchMethod); err != nil {
+		return fmt.Errorf("%w: unknown search method %q (want hierarchical, graph, brute or beam)",
+			ErrConfig, c.SearchMethod)
+	}
+	if c.BeamWidth < 0 || c.BeamWidth > maxBeamWidth {
+		return fmt.Errorf("%w: beam width %d (want 0..%d)", ErrConfig, c.BeamWidth, maxBeamWidth)
 	}
 	if !c.Platforms.IsZero() {
 		if err := c.validatePlatforms(); err != nil {
@@ -781,10 +830,51 @@ func NewPlan(m *Model, s Strategy, c Config) (*Plan, error) {
 // ctx between DP layers and inside its enumeration loops, returning
 // ctx.Err() promptly when the context ends. A nil ctx never cancels.
 func NewPlanCtx(ctx context.Context, m *Model, s Strategy, c Config) (*Plan, error) {
+	return NewPlanOpts(ctx, m, s, c, PlanOptions{})
+}
+
+// PlanOptions carries per-call planning hints that are deliberately
+// not part of Config: they change how a plan is computed, never which
+// plan is correct, so they stay out of the canonical request hash.
+type PlanOptions struct {
+	// Warm seeds the HyPar partition search with a previous plan
+	// (partition.Request.Warm): hierarchy levels whose search inputs
+	// are unchanged are reused instead of re-solved, which is what
+	// makes one-dimension sweeps incremental. Byte-identical output
+	// either way; baselines ignore it. Nil means a cold solve.
+	Warm *Plan
+	// FrontierCap caps the exact graph DP's frontier width for this
+	// call only (0 = the package default). See
+	// partition.Request.FrontierCap.
+	FrontierCap int
+}
+
+// NewPlanOpts is NewPlanCtx with per-call options. The HyPar strategy
+// dispatches on Config.SearchMethod — exact hierarchical DP (default),
+// exhaustive brute force, or bounded-width beam search — through the
+// partition package's unified Solve core.
+func NewPlanOpts(ctx context.Context, m *Model, s Strategy, c Config, opt PlanOptions) (*Plan, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	if !c.Canonical().Platforms.IsZero() {
+	cc := c.Canonical()
+	method, err := partition.ParseMethod(cc.SearchMethod)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	solve := func(ws []partition.Weights) (*Plan, error) {
+		return partition.Solve(partition.Request{
+			Model:       m,
+			Batch:       c.Batch,
+			Levels:      ws,
+			Ctx:         ctx,
+			Method:      method,
+			BeamWidth:   cc.BeamWidth,
+			FrontierCap: opt.FrontierCap,
+			Warm:        opt.Warm,
+		})
+	}
+	if !cc.Platforms.IsZero() {
 		// Heterogeneous array: the level-h run of Algorithm 1 minimizes
 		// level h's own platform weights.
 		a, err := AssignmentFor(c)
@@ -794,7 +884,7 @@ func NewPlanCtx(ctx context.Context, m *Model, s Strategy, c Config) (*Plan, err
 		ws := a.PartitionWeights()
 		switch s {
 		case HyPar:
-			return partition.HierarchicalPerLevelCtx(ctx, m, c.Batch, ws)
+			return solve(ws)
 		case DataParallel:
 			return partition.DataParallelPerLevel(m, c.Batch, ws)
 		case ModelParallel:
@@ -813,7 +903,11 @@ func NewPlanCtx(ctx context.Context, m *Model, s Strategy, c Config) (*Plan, err
 	levels := c.EffectiveLevels()
 	switch s {
 	case HyPar:
-		return partition.HierarchicalWeightedCtx(ctx, m, c.Batch, levels, w)
+		ws := make([]partition.Weights, levels)
+		for h := range ws {
+			ws[h] = w
+		}
+		return solve(ws)
 	case DataParallel:
 		return partition.DataParallelWeighted(m, c.Batch, levels, w)
 	case ModelParallel:
@@ -857,16 +951,22 @@ func Run(m *Model, s Strategy, c Config) (*Result, error) {
 // Evaluator amortizes evaluation state across Run calls: it reuses one
 // simulation engine (task slab and all) and caches the materialized
 // Arch per Config, so sweeps that evaluate many plans stop rebuilding
-// both. An Evaluator is not safe for concurrent use — fan-outs give
-// each worker its own (see runner.MapWith).
+// both. It also keeps each model's latest HyPar plan as a warm-start
+// hint, so a sweep that mutates one dimension (bandwidth, platform,
+// batch) re-solves only the hierarchy levels the mutation actually
+// touches — level reuse is fingerprint-guarded (partition.Request.Warm)
+// and byte-identical, so caching across different Configs is safe. An
+// Evaluator is not safe for concurrent use — fan-outs give each worker
+// its own (see runner.MapWith).
 type Evaluator struct {
 	sim   *sim.Simulator
 	archs map[Config]Arch
+	warm  map[string]*Plan
 }
 
 // NewEvaluator returns an empty Evaluator.
 func NewEvaluator() *Evaluator {
-	return &Evaluator{sim: sim.NewSimulator(), archs: make(map[Config]Arch)}
+	return &Evaluator{sim: sim.NewSimulator(), archs: make(map[Config]Arch), warm: make(map[string]*Plan)}
 }
 
 // Arch returns the simulated platform for the configuration, cached.
@@ -899,9 +999,16 @@ func (e *Evaluator) Run(m *Model, s Strategy, c Config) (*Result, error) {
 // returns whichever step is faster, so degraded slowdowns can only
 // improve over the aligned snap.
 func (e *Evaluator) RunCtx(ctx context.Context, m *Model, s Strategy, c Config) (*Result, error) {
-	plan, err := NewPlanCtx(ctx, m, s, c)
+	var opt PlanOptions
+	if s == HyPar {
+		opt.Warm = e.warm[m.Name]
+	}
+	plan, err := NewPlanOpts(ctx, m, s, c, opt)
 	if err != nil {
 		return nil, err
+	}
+	if s == HyPar {
+		e.warm[m.Name] = plan
 	}
 	res, err := e.Simulate(m, s, plan, c)
 	if err != nil {

@@ -67,6 +67,14 @@ type Session struct {
 
 	mu   sync.Mutex
 	cmps []*hypar.Comparison
+
+	// warmMu guards warm, the per-model warm-start hints: the last HyPar
+	// plan the session computed for each model name. Explorations and
+	// repeated sweeps hand the previous plan back to the planner, which
+	// re-relaxes only the hierarchy levels whose inputs changed (zero
+	// levels when only simulation-side knobs like bandwidth moved).
+	warmMu sync.Mutex
+	warm   map[string]*hypar.Plan
 }
 
 // NewSession creates a session on the default runner pool.
@@ -75,7 +83,28 @@ func NewSession(cfg hypar.Config) *Session { return NewSessionWithPool(cfg, runn
 // NewSessionWithPool creates a session on an explicit pool (width 1 is
 // the serial reference path).
 func NewSessionWithPool(cfg hypar.Config, pool *runner.Pool) *Session {
-	return &Session{cfg: cfg, pool: pool}
+	return &Session{cfg: cfg, pool: pool, warm: make(map[string]*hypar.Plan)}
+}
+
+// warmPlan returns the session's warm-start hint for the named model,
+// or nil when the session has not planned it yet. The hint is only a
+// hint: the planner fingerprints each level's inputs and ignores levels
+// that do not match, so a stale plan can never change a result.
+func (s *Session) warmPlan(name string) *hypar.Plan {
+	s.warmMu.Lock()
+	defer s.warmMu.Unlock()
+	return s.warm[name]
+}
+
+// storeWarm records the latest HyPar plan for the named model as the
+// warm-start hint for subsequent sweeps.
+func (s *Session) storeWarm(name string, p *hypar.Plan) {
+	if p == nil {
+		return
+	}
+	s.warmMu.Lock()
+	defer s.warmMu.Unlock()
+	s.warm[name] = p
 }
 
 // Config returns the session's base configuration.

@@ -59,10 +59,12 @@ func (s *Session) ExploreStream(m *hypar.Model, free []partition.FreeVar,
 	if label == nil {
 		label = DefaultExploreLabel(free)
 	}
-	base, err := hypar.NewPlan(m, hypar.HyPar, s.cfg)
+	base, err := hypar.NewPlanOpts(nil, m, hypar.HyPar, s.cfg,
+		hypar.PlanOptions{Warm: s.warmPlan(m.Name)})
 	if err != nil {
 		return err
 	}
+	s.storeWarm(m.Name, base)
 	dp, err := hypar.Run(m, hypar.DataParallel, s.cfg)
 	if err != nil {
 		return err

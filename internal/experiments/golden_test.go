@@ -39,6 +39,7 @@ func goldenFigures() map[string]func(*Session) (*report.Table, error) {
 		"branched":  (*Session).BranchedTable,
 		"degraded":  (*Session).DegradedTable,
 		"hetero":    (*Session).HeteroTable,
+		"beam":      (*Session).BeamTable,
 	}
 }
 

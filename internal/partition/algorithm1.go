@@ -33,6 +33,7 @@ func twoWayWith(amounts []comm.LayerAmounts, c costs) (float64, Assignment) {
 	if l == 0 {
 		return 0, nil
 	}
+	dpCells.Add(int64(2 * l)) // two recurrence cells per layer
 	inter := func(prev, cur comm.Parallelism, a comm.LayerAmounts) float64 {
 		return c.interF(prev, cur, a) + c.interE(prev, cur, a)
 	}
@@ -155,11 +156,16 @@ func FrontierCap() int {
 	return maxGraphFrontier
 }
 
-// SetFrontierCap lowers (or restores) the frontier-width cap and
-// returns the previous effective value, so services can refuse
+// SetFrontierCap lowers (or restores) the package-default frontier cap
+// and returns the previous effective value, so services can refuse
 // expensive DAGs earlier than the compiled-in maxGraphFrontier bound.
 // The value is clamped to [1, maxGraphFrontier]; n <= 0 restores the
 // default. Safe for concurrent use.
+//
+// Deprecated: this is process-wide mutable state — two concurrent
+// solves wanting different caps race on it. Set Request.FrontierCap
+// instead, which scopes the cap to one Solve call; this function
+// remains only as the default those requests fall back to.
 func SetFrontierCap(n int) int {
 	prev := FrontierCap()
 	switch {
@@ -187,6 +193,13 @@ func ctxErr(ctx context.Context) error {
 // of "chain" exists — nn.ChainPreds — shared with the trainer gate and
 // the canonical encoder.
 func isChain(preds [][]int) bool { return nn.ChainPreds(preds) }
+
+// FrontierWidth returns the maximum number of simultaneously open
+// layers (produced but not yet fully consumed) over a topological walk
+// of the resolved predecessor lists — the width the exact graph DP's
+// state space is exponential in, and the quantity Request.FrontierCap
+// bounds. Chains have width 1.
+func FrontierWidth(preds [][]int) int { return frontierWidth(preds) }
 
 // frontierWidth returns the maximum number of simultaneously open
 // layers (produced but not yet fully consumed) over a topological walk
@@ -321,6 +334,7 @@ func twoWayGraphWith(ctx context.Context, amounts []comm.LayerAmounts, preds [][
 				mid[mk] = nc
 			}
 		}
+		dpCells.Add(int64(len(mid)))
 
 		// Phase B: close layers whose last consumer was l (and l itself
 		// when nothing consumes it — the sink), minimizing over their

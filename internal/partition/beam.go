@@ -1,0 +1,146 @@
+package partition
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/comm"
+)
+
+// beamState is one candidate partial assignment of the beam search:
+// the choices of every processed layer plus the accumulated objective.
+// Unlike the exact DP, states keep their full assignment prefix, so no
+// traceback pass is needed and the frontier never has to fit a machine
+// word — which is exactly what lets the beam ignore the frontier cap.
+type beamState struct {
+	assign []comm.Parallelism
+	cost   float64
+}
+
+// beamTwoWayWith is the bounded-width beam relaxation of the graph
+// frontier DP: it processes layers in topological order keeping at most
+// width states per step instead of the exact DP's 2^frontier. Chains
+// dispatch to the exact O(L) recurrence (the beam is pointless there
+// and exactness is free). On branched graphs the beam is exact whenever
+// width covers every distinct open-layer assignment (width ≥
+// 2^frontier), and a bounded-optimality-gap heuristic beyond that —
+// the gap is pinned by the oracle suite.
+//
+// Determinism: candidate states deduplicate per open-layer key keeping
+// the cheapest (ties: lexicographically smaller assignment, dp before
+// mp), then sort by (cost, assignment) before truncation. No map
+// iteration order leaks into the result.
+func beamTwoWayWith(ctx context.Context, amounts []comm.LayerAmounts, preds [][]int, c costs, width int) (float64, Assignment, error) {
+	nl := len(amounts)
+	if nl == 0 {
+		return 0, nil, nil
+	}
+	if isChain(preds) {
+		cost, assign := twoWayWith(amounts, c)
+		return cost, assign, nil
+	}
+	if width < 1 {
+		width = 1
+	}
+
+	remaining := make([]int, nl) // unprocessed consumers per layer
+	for _, ps := range preds {
+		for _, u := range ps {
+			if u >= 0 {
+				remaining[u]++
+			}
+		}
+	}
+
+	states := []beamState{{}}
+	open := make([]int, 0, nl) // open layers after the current step, ascending
+	for l := 0; l < nl; l++ {
+		if err := ctxErr(ctx); err != nil {
+			return 0, nil, err
+		}
+		// Extend every surviving state with both choices for layer l,
+		// charging its intra cost plus the conversions on every incoming
+		// edge (the producer's choice is in the state's own prefix).
+		ext := make([]beamState, 0, 2*len(states))
+		for _, st := range states {
+			for _, p := range []comm.Parallelism{comm.DP, comm.MP} {
+				nc := st.cost + c.intra(p, amounts[l])
+				for _, u := range preds[l] {
+					if u < 0 {
+						continue
+					}
+					pu := st.assign[u]
+					nc += c.interF(pu, p, amounts[u]) + c.interE(pu, p, amounts[u])
+				}
+				na := make([]comm.Parallelism, l+1)
+				copy(na, st.assign)
+				na[l] = p
+				ext = append(ext, beamState{assign: na, cost: nc})
+			}
+		}
+		dpCells.Add(int64(len(ext)))
+
+		// Close layers whose last consumer is l; only the still-open
+		// layers' choices can influence future costs, so states agreeing
+		// on them are interchangeable and the cheapest represents all.
+		for _, u := range preds[l] {
+			if u >= 0 {
+				remaining[u]--
+			}
+		}
+		open = open[:0]
+		for u := 0; u <= l; u++ {
+			if remaining[u] > 0 {
+				open = append(open, u)
+			}
+		}
+		keyBuf := make([]byte, len(open))
+		bestOf := make(map[string]int, len(ext))
+		kept := make([]beamState, 0, len(ext))
+		for _, st := range ext {
+			for i, u := range open {
+				keyBuf[i] = byte(st.assign[u])
+			}
+			k := string(keyBuf)
+			if j, ok := bestOf[k]; ok {
+				if st.cost < kept[j].cost || (st.cost == kept[j].cost && lessAssign(st.assign, kept[j].assign)) {
+					kept[j] = st
+				}
+			} else {
+				bestOf[k] = len(kept)
+				kept = append(kept, st)
+			}
+		}
+		sort.Slice(kept, func(i, j int) bool {
+			if kept[i].cost != kept[j].cost {
+				return kept[i].cost < kept[j].cost
+			}
+			return lessAssign(kept[i].assign, kept[j].assign)
+		})
+		if len(kept) > width {
+			kept = kept[:width]
+		}
+		states = kept
+	}
+
+	// Every layer is processed and (with a single sink) closed, so all
+	// states share the empty key and the dedup above left exactly the
+	// cheapest; the sort puts it first either way.
+	best := states[0]
+	return best.cost, Assignment(best.assign), nil
+}
+
+// lessAssign orders assignments lexicographically by layer with dp
+// before mp — the beam's deterministic tiebreak, biased toward data
+// parallelism like the exact DP's lowest-key rule.
+func lessAssign(a, b []comm.Parallelism) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

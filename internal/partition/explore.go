@@ -25,7 +25,7 @@ func BruteForce(m *nn.Model, batch, levels int) (*Plan, error) {
 
 // BruteForceWith is BruteForce on an explicit pool.
 func BruteForceWith(pool *runner.Pool, m *nn.Model, batch, levels int) (*Plan, error) {
-	return bruteForceWith(nil, pool, m, batch, levels, trainingCosts)
+	return BruteForceCtx(nil, pool, m, batch, levels)
 }
 
 // BruteForceCtx is BruteForceWith with cancellation: the enumeration
@@ -33,24 +33,20 @@ func BruteForceWith(pool *runner.Pool, m *nn.Model, batch, levels int) (*Plan, e
 // each chunk), so even a near-2^24 search returns promptly after the
 // context ends. A nil ctx never cancels.
 func BruteForceCtx(ctx context.Context, pool *runner.Pool, m *nn.Model, batch, levels int) (*Plan, error) {
-	return bruteForceWith(ctx, pool, m, batch, levels, trainingCosts)
-}
-
-// bruteForceWith is BruteForceWith under one cost model applied at
-// every level.
-func bruteForceWith(ctx context.Context, pool *runner.Pool, m *nn.Model, batch, levels int, c costs) (*Plan, error) {
-	if levels < 0 {
-		return nil, fmt.Errorf("%w: negative hierarchy depth %d", ErrPlan, levels)
+	ws, err := repeatWeights(UnitWeights(), levels)
+	if err != nil {
+		return nil, err
 	}
-	return bruteForceLevelsWith(ctx, pool, m, batch, repeatCosts(c, levels))
+	return Solve(Request{Model: m, Batch: batch, Levels: ws, Ctx: ctx, Pool: pool, Method: MethodBrute})
 }
 
-// bruteForceLevelsWith is the exhaustive search under a per-level cost
-// model (level h scored by cs[h]) — the exactness reference the
-// heterogeneous hierarchical search is compared against.
-func bruteForceLevelsWith(ctx context.Context, pool *runner.Pool, m *nn.Model, batch int, cs []costs) (*Plan, error) {
+// bruteForceCore is the exhaustive search under a per-level cost model
+// (level h scored by cs[h]) — the exactness reference the hierarchical
+// search is compared against. fcap is the per-request frontier cap
+// (see prepareCap).
+func bruteForceCore(ctx context.Context, pool *runner.Pool, m *nn.Model, batch int, cs []costs, fcap int) (*Plan, error) {
 	levels := len(cs)
-	shapes, preds, err := prepare(m, batch, levels)
+	shapes, preds, err := prepareCap(m, batch, levels, fcap)
 	if err != nil {
 		return nil, err
 	}

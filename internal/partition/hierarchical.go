@@ -19,7 +19,7 @@ import (
 // (DAG) models run the graph generalization of Algorithm 1 per level;
 // chains run the paper's O(L) recurrence unchanged.
 func Hierarchical(m *nn.Model, batch, levels int) (*Plan, error) {
-	return hierarchicalWith(nil, m, batch, levels, trainingCosts)
+	return HierarchicalCtx(nil, m, batch, levels)
 }
 
 // HierarchicalCtx is Hierarchical with cancellation: the search checks
@@ -27,7 +27,11 @@ func Hierarchical(m *nn.Model, batch, levels int) (*Plan, error) {
 // returning ctx.Err() promptly when the context ends. A nil ctx never
 // cancels.
 func HierarchicalCtx(ctx context.Context, m *nn.Model, batch, levels int) (*Plan, error) {
-	return hierarchicalWith(ctx, m, batch, levels, trainingCosts)
+	ws, err := repeatWeights(UnitWeights(), levels)
+	if err != nil {
+		return nil, err
+	}
+	return Solve(Request{Model: m, Batch: batch, Levels: ws, Ctx: ctx})
 }
 
 // Evaluate computes the communication volumes of an arbitrary
@@ -74,8 +78,16 @@ func evaluateShapesLevelsWith(m *nn.Model, batch int, levels []Assignment, shape
 }
 
 // prepare validates the request, runs (memoized) shape inference, and
-// resolves the layer graph.
+// resolves the layer graph, enforcing the package-default frontier cap.
 func prepare(m *nn.Model, batch, levels int) ([]nn.LayerShapes, [][]int, error) {
+	return prepareCap(m, batch, levels, 0)
+}
+
+// prepareCap is prepare under a per-request frontier cap: 0 means the
+// package default (FrontierCap), positive values clamp to the
+// compiled-in maximum, capUnlimited skips the width check entirely
+// (the beam search, whose state space does not depend on the width).
+func prepareCap(m *nn.Model, batch, levels, fcap int) ([]nn.LayerShapes, [][]int, error) {
 	if levels < 0 {
 		return nil, nil, fmt.Errorf("%w: negative hierarchy depth %d", ErrPlan, levels)
 	}
@@ -91,9 +103,18 @@ func prepare(m *nn.Model, batch, levels int) ([]nn.LayerShapes, [][]int, error) 
 	if err != nil {
 		return nil, nil, err
 	}
-	if w, lim := frontierWidth(preds), FrontierCap(); w > lim {
-		return nil, nil, fmt.Errorf("%w: model %q needs a partition frontier of %d open layers (max %d)",
-			ErrTooWide, m.Name, w, lim)
+	if fcap != capUnlimited {
+		lim := FrontierCap()
+		if fcap > 0 {
+			lim = fcap
+			if lim > maxGraphFrontier {
+				lim = maxGraphFrontier
+			}
+		}
+		if w := frontierWidth(preds); w > lim {
+			return nil, nil, fmt.Errorf("%w: model %q needs a partition frontier of %d open layers (max %d)",
+				ErrTooWide, m.Name, w, lim)
+		}
 	}
 	return shapes, preds, nil
 }
@@ -127,12 +148,6 @@ func amountsAt(shapes []nn.LayerShapes, shards []tensor.Shard) []comm.LayerAmoun
 		amounts[l] = comm.Amounts(shapes[l], shards[l])
 	}
 	return amounts
-}
-
-// fillDetailsWith populates plan.Details and plan.TotalElems from the
-// plan's level assignments under one cost model applied at every level.
-func fillDetailsWith(plan *Plan, shapes []nn.LayerShapes, c costs) {
-	fillDetailsLevelsWith(plan, shapes, repeatCosts(c, len(plan.Levels)))
 }
 
 // repeatCosts expands one cost model to a per-level vector, the shape

@@ -1,12 +1,8 @@
 package partition
 
 import (
-	"context"
-	"fmt"
-
 	"repro/internal/comm"
 	"repro/internal/nn"
-	"repro/internal/tensor"
 )
 
 // costs abstracts the objective of the layer-wise dynamic program so
@@ -24,67 +20,37 @@ var trainingCosts = costs{
 	interE: comm.InterE,
 }
 
-// inferenceCosts drops everything gradients and errors cause: dp incurs
-// no intra-layer exchange (there is no ∆W), and no E tensors flow
+// objectiveCosts compiles the weights into the cost model of the given
+// objective. Training is the paper's full model (Tables 1-2).
+// Inference drops everything gradients and errors cause: dp incurs no
+// intra-layer exchange (there is no ∆W), and no E tensors flow
 // backward. Only mp's output partial sums and the forward F conversions
 // remain — which is why §3.3 observes that inference always optimizes
 // to pure Data Parallelism (both of its cost sources are zero).
-var inferenceCosts = costs{
-	intra: func(p comm.Parallelism, a comm.LayerAmounts) float64 {
-		if p == comm.MP {
-			return a.FOut
+func (w Weights) objectiveCosts(o Objective) costs {
+	if o == ObjectiveInference {
+		return costs{
+			intra: func(p comm.Parallelism, a comm.LayerAmounts) float64 {
+				if p == comm.MP {
+					return w.Psum * a.FOut
+				}
+				return 0
+			},
+			interF: func(prev, cur comm.Parallelism, a comm.LayerAmounts) float64 {
+				return w.Convert * comm.InterF(prev, cur, a)
+			},
+			interE: func(prev, cur comm.Parallelism, a comm.LayerAmounts) float64 { return 0 },
 		}
-		return 0
-	},
-	interF: comm.InterF,
-	interE: func(prev, cur comm.Parallelism, a comm.LayerAmounts) float64 { return 0 },
+	}
+	return w.costs()
 }
 
 // HierarchicalInference runs the partition search with the inference
 // cost model (forward pass only, no gradient or error communication).
 func HierarchicalInference(m *nn.Model, batch, levels int) (*Plan, error) {
-	return hierarchicalWith(nil, m, batch, levels, inferenceCosts)
-}
-
-// hierarchicalWith is Hierarchical parameterized by one cost model
-// applied at every level.
-func hierarchicalWith(ctx context.Context, m *nn.Model, batch, levels int, c costs) (*Plan, error) {
-	if levels < 0 {
-		return nil, fmt.Errorf("%w: negative hierarchy depth %d", ErrPlan, levels)
-	}
-	return hierarchicalLevelsWith(ctx, m, batch, repeatCosts(c, levels))
-}
-
-// hierarchicalLevelsWith is Hierarchical parameterized by a per-level
-// cost model: the level-h run of Algorithm 1 minimizes cs[h], so a
-// heterogeneous array scores each cut with the platform actually
-// serving it. Each level's optimum comes from the graph form of
-// Algorithm 1, which for chains is the paper's recurrence unchanged.
-// The context (nil = never cancels) is checked between hierarchy levels
-// and inside the per-level frontier DP.
-func hierarchicalLevelsWith(ctx context.Context, m *nn.Model, batch int, cs []costs) (*Plan, error) {
-	levels := len(cs)
-	shapes, preds, err := prepare(m, batch, levels)
+	ws, err := repeatWeights(UnitWeights(), levels)
 	if err != nil {
 		return nil, err
 	}
-	nl := len(shapes)
-	plan := &Plan{Model: m.Name, Batch: batch, Levels: make([]Assignment, 0, levels), Edges: EdgesOf(preds)}
-	shards := make([]tensor.Shard, nl)
-	for h := 0; h < levels; h++ {
-		if err := ctxErr(ctx); err != nil {
-			return nil, err
-		}
-		amounts := amountsAt(shapes, shards)
-		_, assign, err := twoWayGraphWith(ctx, amounts, preds, cs[h])
-		if err != nil {
-			return nil, err
-		}
-		plan.Levels = append(plan.Levels, assign)
-		for l := range shards {
-			shards[l] = shards[l].Apply(assign[l] == comm.DP)
-		}
-	}
-	fillDetailsLevelsWith(plan, shapes, cs)
-	return plan, nil
+	return Solve(Request{Model: m, Batch: batch, Levels: ws, Objective: ObjectiveInference})
 }

@@ -42,6 +42,7 @@ func TestInferenceModelParallelStillCosts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	inferenceCosts := UnitWeights().objectiveCosts(ObjectiveInference)
 	for l := range shapes {
 		a := comm.Amounts(shapes[l], tensor.Shard{})
 		if got := inferenceCosts.intra(comm.MP, a); got != a.FOut {

@@ -98,6 +98,14 @@ type Plan struct {
 	// TotalElems is the array-wide one-direction element total:
 	// Σ_h 2^h · perPair(h) — Algorithm 2's com = com_h + 2·com_n.
 	TotalElems float64
+
+	// levelKeys fingerprints each level's solve inputs (method,
+	// objective, weights, sharded amounts, layer graph) for warm-start
+	// reuse: a later Solve whose level fingerprints match may adopt the
+	// level verbatim (see Request.Warm). Unexported on purpose — plans
+	// marshal exactly as before, and only Solve can mint valid keys.
+	// Nil on plans built outside Solve; such plans warm nothing.
+	levelKeys []uint64
 }
 
 // PerPairElems returns level h's total one-direction elements for one

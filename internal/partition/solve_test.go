@@ -1,0 +1,292 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/runner"
+)
+
+// plansAgree compares the exported content of two plans exactly: the
+// byte-identity contract the wrapper refactor is pinned against.
+// (reflect.DeepEqual on whole plans would also compare the unexported
+// warm-start fingerprints, which legitimately differ across methods.)
+func plansAgree(a, b *Plan) bool {
+	return a.Model == b.Model && a.Batch == b.Batch &&
+		reflect.DeepEqual(a.Levels, b.Levels) &&
+		reflect.DeepEqual(a.Edges, b.Edges) &&
+		reflect.DeepEqual(a.Details, b.Details) &&
+		a.TotalElems == b.TotalElems
+}
+
+// TestSolveMatchesLegacyWrappers: every pre-refactor entry point is a
+// thin wrapper over Solve, and calling Solve directly with the
+// equivalent Request returns the identical plan.
+func TestSolveMatchesLegacyWrappers(t *testing.T) {
+	chain := nn.AlexNet()
+	fork := cancelFork(3)
+	w := Weights{Grad: 0.5, Psum: 1, Convert: 2}
+	perLevel := []Weights{UnitWeights(), w, UnitWeights()}
+	pool := runner.Serial()
+
+	cases := []struct {
+		name   string
+		legacy func() (*Plan, error)
+		req    Request
+	}{
+		{"Hierarchical", func() (*Plan, error) { return Hierarchical(chain, 64, 3) },
+			Request{Model: chain, Batch: 64, Levels: []Weights{UnitWeights(), UnitWeights(), UnitWeights()}}},
+		{"HierarchicalGraph", func() (*Plan, error) { return Hierarchical(fork, 16, 2) },
+			Request{Model: fork, Batch: 16, Levels: []Weights{UnitWeights(), UnitWeights()}}},
+		{"HierarchicalWeighted", func() (*Plan, error) { return HierarchicalWeighted(chain, 64, 2, w) },
+			Request{Model: chain, Batch: 64, Levels: []Weights{w, w}}},
+		{"HierarchicalPerLevel", func() (*Plan, error) { return HierarchicalPerLevel(chain, 32, perLevel) },
+			Request{Model: chain, Batch: 32, Levels: perLevel}},
+		{"HierarchicalInference", func() (*Plan, error) { return HierarchicalInference(chain, 64, 2) },
+			Request{Model: chain, Batch: 64, Levels: []Weights{UnitWeights(), UnitWeights()}, Objective: ObjectiveInference}},
+		{"BruteForce", func() (*Plan, error) { return BruteForceWith(pool, cancelChain(5), 8, 2) },
+			Request{Model: cancelChain(5), Batch: 8, Levels: []Weights{UnitWeights(), UnitWeights()}, Pool: pool, Method: MethodBrute}},
+		{"BruteForceWeighted", func() (*Plan, error) { return BruteForceWeightedWith(pool, cancelChain(5), 8, 2, w) },
+			Request{Model: cancelChain(5), Batch: 8, Levels: []Weights{w, w}, Pool: pool, Method: MethodBrute}},
+	}
+	for _, tc := range cases {
+		want, err := tc.legacy()
+		if err != nil {
+			t.Fatalf("%s: legacy: %v", tc.name, err)
+		}
+		got, err := Solve(tc.req)
+		if err != nil {
+			t.Fatalf("%s: Solve: %v", tc.name, err)
+		}
+		if !plansAgree(got, want) {
+			t.Errorf("%s: Solve plan differs from legacy wrapper", tc.name)
+		}
+	}
+}
+
+func TestParseMethod(t *testing.T) {
+	for name, want := range map[string]Method{
+		"": MethodHierarchical, "hierarchical": MethodHierarchical, "graph": MethodHierarchical,
+		"Brute": MethodBrute, "BEAM": MethodBeam,
+	} {
+		got, err := ParseMethod(name)
+		if err != nil || got != want {
+			t.Errorf("ParseMethod(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseMethod("quantum"); !errors.Is(err, ErrPlan) {
+		t.Errorf("ParseMethod(quantum) = %v, want ErrPlan", err)
+	}
+	for m, s := range map[Method]string{MethodHierarchical: "hierarchical", MethodBrute: "brute", MethodBeam: "beam"} {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), s)
+		}
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	m := cancelChain(3)
+	unit := []Weights{UnitWeights()}
+	for name, req := range map[string]Request{
+		"nil model":         {Batch: 8, Levels: unit},
+		"negative cap":      {Model: m, Batch: 8, Levels: unit, FrontierCap: -1},
+		"negative width":    {Model: m, Batch: 8, Levels: unit, Method: MethodBeam, BeamWidth: -2},
+		"bad weights":       {Model: m, Batch: 8, Levels: []Weights{{Grad: -1, Psum: 1, Convert: 1}}},
+		"unknown method":    {Model: m, Batch: 8, Levels: unit, Method: Method(99)},
+		"unknown objective": {Model: m, Batch: 8, Levels: unit, Objective: Objective(7)},
+	} {
+		if _, err := Solve(req); !errors.Is(err, ErrPlan) {
+			t.Errorf("Solve(%s) = %v, want ErrPlan", name, err)
+		}
+	}
+}
+
+// TestRequestFrontierCap: the per-request cap bounds the exact graph DP
+// without touching the package default, and zero means the default.
+func TestRequestFrontierCap(t *testing.T) {
+	fork := cancelFork(8) // frontier width 8
+	unit := []Weights{UnitWeights()}
+	if _, err := Solve(Request{Model: fork, Batch: 2, Levels: unit, FrontierCap: 4}); !errors.Is(err, ErrTooWide) {
+		t.Fatalf("Solve under request cap 4 = %v, want ErrTooWide", err)
+	}
+	if _, err := Solve(Request{Model: fork, Batch: 2, Levels: unit}); err != nil {
+		t.Fatalf("Solve under default cap: %v", err)
+	}
+	if got := FrontierCap(); got != maxGraphFrontier {
+		t.Fatalf("request cap leaked into the package default: FrontierCap() = %d", got)
+	}
+	// Values above the compiled-in maximum clamp rather than unlocking
+	// state-key widths the exact DP cannot represent.
+	if _, err := Solve(Request{Model: cancelFork(18), Batch: 2, Levels: unit, FrontierCap: 64}); !errors.Is(err, ErrTooWide) {
+		t.Fatalf("Solve with cap 64 on width-18 fork = %v, want ErrTooWide (clamped)", err)
+	}
+}
+
+// TestConcurrentFrontierCaps runs solves with different per-request
+// caps concurrently — the scenario the deprecated package global could
+// not express without racing (run under -race in CI).
+func TestConcurrentFrontierCaps(t *testing.T) {
+	fork := cancelFork(8)
+	unit := []Weights{UnitWeights()}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for _, tc := range []struct {
+		cap     int
+		wantErr bool
+	}{{4, true}, {0, false}} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_, err := Solve(Request{Model: fork, Batch: 2, Levels: unit, FrontierCap: tc.cap})
+				if tc.wantErr != (err != nil) {
+					errs <- fmt.Errorf("cap %d: err = %v, wantErr %v", tc.cap, err, tc.wantErr)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestWarmStartReusesLevels: a warm solve whose inputs are unchanged
+// reuses every level and evaluates zero new DP cells; a sweep that
+// mutates one dimension recomputes strictly fewer cells than a cold
+// solve while returning the byte-identical plan.
+func TestWarmStartReusesLevels(t *testing.T) {
+	m := oracleRandomDAG(rand.New(rand.NewSource(42)), 0)
+	perLevel := []Weights{UnitWeights(), UnitWeights(), UnitWeights(), UnitWeights()}
+	req := Request{Model: m, Batch: 32, Levels: perLevel}
+
+	cells := func(f func()) int64 {
+		before := DPCells()
+		f()
+		return DPCells() - before
+	}
+
+	var cold, warm *Plan
+	var err error
+	coldCells := cells(func() { cold, err = Solve(req) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldCells <= 0 {
+		t.Fatalf("cold solve evaluated %d DP cells, want > 0", coldCells)
+	}
+
+	// Unchanged inputs: full reuse, zero DP work.
+	warmReq := req
+	warmReq.Warm = cold
+	warmCells := cells(func() { warm, err = Solve(warmReq) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmCells != 0 {
+		t.Errorf("identical warm solve evaluated %d DP cells, want 0", warmCells)
+	}
+	if !plansAgree(warm, cold) {
+		t.Error("warm plan differs from cold plan")
+	}
+
+	// One-dimension sweep: mutate only level 2's weights. Levels 0 and 1
+	// see identical inputs and must be reused; the changed level (and any
+	// level whose shard history diverges) recomputes. Strictly fewer
+	// cells than the equivalent cold solve, same plan.
+	swept := []Weights{UnitWeights(), UnitWeights(), {Grad: 2, Psum: 1, Convert: 1}, UnitWeights()}
+	sweepReq := Request{Model: m, Batch: 32, Levels: swept, Warm: cold}
+	var sweptWarm *Plan
+	sweptWarmCells := cells(func() { sweptWarm, err = Solve(sweepReq) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepCold := sweepReq
+	sweepCold.Warm = nil
+	var sweptCold *Plan
+	sweptColdCells := cells(func() { sweptCold, err = Solve(sweepCold) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweptWarmCells >= sweptColdCells {
+		t.Errorf("warm sweep evaluated %d DP cells, cold %d: want strictly fewer", sweptWarmCells, sweptColdCells)
+	}
+	if !plansAgree(sweptWarm, sweptCold) {
+		t.Error("warm sweep plan differs from cold sweep plan")
+	}
+
+	// A different batch changes every level's amounts: no level may be
+	// wrongly reused (the plan must equal its cold counterpart).
+	batchReq := Request{Model: m, Batch: 64, Levels: perLevel, Warm: cold}
+	warmBatch, err := Solve(batchReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldBatch, err := Solve(Request{Model: m, Batch: 64, Levels: perLevel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plansAgree(warmBatch, coldBatch) {
+		t.Error("batch-changed warm plan differs from cold plan")
+	}
+}
+
+// TestWarmStartIgnoresForeignPlans: plans built outside Solve carry no
+// fingerprints and must warm nothing (no panic, no wrong reuse).
+func TestWarmStartIgnoresForeignPlans(t *testing.T) {
+	m := cancelChain(4)
+	unit := []Weights{UnitWeights(), UnitWeights()}
+	foreign, err := BruteForce(m, 8, 2) // brute plans have no levelKeys
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Solve(Request{Model: m, Batch: 8, Levels: unit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Solve(Request{Model: m, Batch: 8, Levels: unit, Warm: foreign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plansAgree(warm, cold) {
+		t.Error("foreign warm hint changed the plan")
+	}
+}
+
+// TestWarmStartMethodMismatch: a beam plan must not warm an exact solve
+// (and vice versa) — the method is part of the fingerprint seed.
+func TestWarmStartMethodMismatch(t *testing.T) {
+	m := cancelFork(3)
+	unit := []Weights{UnitWeights(), UnitWeights()}
+	exact, err := Solve(Request{Model: m, Batch: 8, Levels: unit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := DPCells()
+	if _, err := Solve(Request{Model: m, Batch: 8, Levels: unit, Method: MethodBeam, Warm: exact}); err != nil {
+		t.Fatal(err)
+	}
+	if DPCells() == before {
+		t.Error("beam solve reused exact-DP levels: method must invalidate the fingerprint")
+	}
+}
+
+// TestDPCellsCounts pins the counter's unit on the chain recurrence:
+// two cells per layer per level.
+func TestDPCellsCounts(t *testing.T) {
+	m := cancelChain(6)
+	before := DPCells()
+	if _, err := Hierarchical(m, 8, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := DPCells()-before, int64(3*2*6); got != want {
+		t.Errorf("DPCells delta = %d, want %d (3 levels x 2 choices x 6 layers)", got, want)
+	}
+}

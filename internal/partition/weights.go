@@ -100,7 +100,11 @@ func HierarchicalWeightedCtx(ctx context.Context, m *nn.Model, batch, levels int
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
-	return hierarchicalWith(ctx, m, batch, levels, w.costs())
+	ws, err := repeatWeights(w, levels)
+	if err != nil {
+		return nil, err
+	}
+	return Solve(Request{Model: m, Batch: batch, Levels: ws, Ctx: ctx})
 }
 
 // EvaluateWeighted is Evaluate under platform cost weights: it computes
@@ -175,7 +179,11 @@ func BruteForceWeightedCtx(ctx context.Context, pool *runner.Pool, m *nn.Model, 
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
-	return bruteForceWith(ctx, pool, m, batch, levels, w.costs())
+	ws, err := repeatWeights(w, levels)
+	if err != nil {
+		return nil, err
+	}
+	return Solve(Request{Model: m, Batch: batch, Levels: ws, Ctx: ctx, Pool: pool, Method: MethodBrute})
 }
 
 // levelCosts compiles a per-level weights vector to the per-level cost
@@ -203,11 +211,7 @@ func HierarchicalPerLevel(m *nn.Model, batch int, ws []Weights) (*Plan, error) {
 // HierarchicalPerLevelCtx is HierarchicalPerLevel with cancellation
 // (see HierarchicalCtx). A nil ctx never cancels.
 func HierarchicalPerLevelCtx(ctx context.Context, m *nn.Model, batch int, ws []Weights) (*Plan, error) {
-	cs, err := levelCosts(ws)
-	if err != nil {
-		return nil, err
-	}
-	return hierarchicalLevelsWith(ctx, m, batch, cs)
+	return Solve(Request{Model: m, Batch: batch, Levels: ws, Ctx: ctx})
 }
 
 // EvaluatePerLevel is Evaluate under a per-level cost model: level h's
@@ -281,11 +285,7 @@ func BruteForcePerLevelWith(pool *runner.Pool, m *nn.Model, batch int, ws []Weig
 // BruteForcePerLevelCtx is BruteForcePerLevelWith with cancellation
 // (see BruteForceCtx). A nil ctx never cancels.
 func BruteForcePerLevelCtx(ctx context.Context, pool *runner.Pool, m *nn.Model, batch int, ws []Weights) (*Plan, error) {
-	cs, err := levelCosts(ws)
-	if err != nil {
-		return nil, err
-	}
-	return bruteForceLevelsWith(ctx, pool, m, batch, cs)
+	return Solve(Request{Model: m, Batch: batch, Levels: ws, Ctx: ctx, Pool: pool, Method: MethodBrute})
 }
 
 // ExploreWeightedWith is ExploreWith with every point's volumes

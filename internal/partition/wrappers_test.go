@@ -1,0 +1,180 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/runner"
+)
+
+// TestWeightedWrappersUnitIdentity pins the wrapper contract the Solve
+// refactor promised: every Weighted entry point at UnitWeights is
+// byte-identical to its unweighted original, because scaling by 1.0 is
+// exact in IEEE arithmetic and the wrappers all delegate to the same
+// core.
+func TestWeightedWrappersUnitIdentity(t *testing.T) {
+	m := nn.AlexNet()
+	const batch, levels = 16, 2
+	u := UnitWeights()
+
+	type pair struct {
+		name string
+		a    func() (*Plan, error)
+		b    func() (*Plan, error)
+	}
+	pairs := []pair{
+		{"Hierarchical",
+			func() (*Plan, error) { return Hierarchical(m, batch, levels) },
+			func() (*Plan, error) { return HierarchicalWeighted(m, batch, levels, u) }},
+		{"DataParallel",
+			func() (*Plan, error) { return DataParallel(m, batch, levels) },
+			func() (*Plan, error) { return DataParallelWeighted(m, batch, levels, u) }},
+		{"ModelParallel",
+			func() (*Plan, error) { return ModelParallel(m, batch, levels) },
+			func() (*Plan, error) { return ModelParallelWeighted(m, batch, levels, u) }},
+		{"OneWeirdTrick",
+			func() (*Plan, error) { return OneWeirdTrick(m, batch, levels) },
+			func() (*Plan, error) { return OneWeirdTrickWeighted(m, batch, levels, u) }},
+		{"DataParallelPerLevel",
+			func() (*Plan, error) { return DataParallelWeighted(m, batch, levels, u) },
+			func() (*Plan, error) { return DataParallelPerLevel(m, batch, []Weights{u, u}) }},
+		{"ModelParallelPerLevel",
+			func() (*Plan, error) { return ModelParallelWeighted(m, batch, levels, u) },
+			func() (*Plan, error) { return ModelParallelPerLevel(m, batch, []Weights{u, u}) }},
+		{"OneWeirdTrickPerLevel",
+			func() (*Plan, error) { return OneWeirdTrickWeighted(m, batch, levels, u) },
+			func() (*Plan, error) { return OneWeirdTrickPerLevel(m, batch, []Weights{u, u}) }},
+	}
+	for _, p := range pairs {
+		want, err := p.a()
+		if err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+		got, err := p.b()
+		if err != nil {
+			t.Fatalf("%s wrapper: %v", p.name, err)
+		}
+		if !plansAgree(want, got) {
+			t.Errorf("%s: weighted wrapper diverges from original at unit weights", p.name)
+		}
+	}
+
+	// The fixed-assignment evaluators agree the same way.
+	plan, err := Hierarchical(m, batch, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(m, batch, plan.Levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evW, err := EvaluateWeighted(m, batch, plan.Levels, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evP, err := EvaluatePerLevel(m, batch, plan.Levels, []Weights{u, u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plansAgree(ev, evW) || !plansAgree(ev, evP) {
+		t.Error("Evaluate wrappers diverge at unit weights")
+	}
+	if ev.TotalElems != plan.TotalElems {
+		t.Errorf("Evaluate of the search's own assignment: %g != %g", ev.TotalElems, plan.TotalElems)
+	}
+
+	// Chain-DP wrappers: cost and assignment, plus the exhaustive
+	// single-level objective.
+	amounts, _ := oracleAmounts(t, m, batch)
+	cost, assign := TwoWay(amounts)
+	costW, assignW := TwoWayWeighted(amounts, u)
+	if cost != costW || assign.String() != assignW.String() {
+		t.Errorf("TwoWayWeighted(unit) = (%g, %s), want (%g, %s)", costW, assignW, cost, assign)
+	}
+	if ac := AssignmentCostWeighted(amounts, assign, u); ac != AssignmentCost(amounts, assign) {
+		t.Errorf("AssignmentCostWeighted(unit) = %g, want %g", ac, AssignmentCost(amounts, assign))
+	}
+}
+
+// TestBruteAndExploreWrappersUnitIdentity covers the exhaustive and
+// exploration wrapper surface on a chain small enough to enumerate.
+func TestBruteAndExploreWrappersUnitIdentity(t *testing.T) {
+	m := cancelChain(4)
+	const batch, levels = 8, 2
+	u := UnitWeights()
+	pool := runner.Serial()
+
+	want, err := BruteForceWith(pool, m, batch, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotW, err := BruteForceWeightedWith(pool, m, batch, levels, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotP, err := BruteForcePerLevelWith(pool, m, batch, []Weights{u, u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plansAgree(want, gotW) || !plansAgree(want, gotP) {
+		t.Error("brute-force wrappers diverge at unit weights")
+	}
+
+	free := []FreeVar{{Level: 0, Layer: 0}, {Level: 1, Layer: 2}}
+	pts, err := ExploreWith(pool, m, batch, want.Levels, free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptsW, err := ExploreWeightedWith(pool, m, batch, want.Levels, free, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(ptsW) {
+		t.Fatalf("explore wrappers: %d vs %d points", len(pts), len(ptsW))
+	}
+	for i := range pts {
+		if pts[i].Code != ptsW[i].Code || !plansAgree(pts[i].Plan, ptsW[i].Plan) {
+			t.Errorf("explore point %d diverges between wrappers", i)
+		}
+	}
+
+	// Bad weights are rejected at the wrapper boundary, uniformly.
+	bad := Weights{Grad: -1, Psum: 1, Convert: 1}
+	if _, err := HierarchicalWeighted(m, batch, levels, bad); err == nil {
+		t.Error("HierarchicalWeighted accepted a negative weight")
+	}
+	if _, err := EvaluateWeighted(m, batch, want.Levels, bad); err == nil {
+		t.Error("EvaluateWeighted accepted a negative weight")
+	}
+	if _, err := ExploreWeightedWith(pool, m, batch, want.Levels, free, bad); err == nil {
+		t.Error("ExploreWeightedWith accepted a negative weight")
+	}
+	if _, err := BruteForceWeightedWith(pool, m, batch, levels, bad); err == nil {
+		t.Error("BruteForceWeightedWith accepted a negative weight")
+	}
+	if _, err := EvaluatePerLevel(m, batch, want.Levels, []Weights{u, bad}); err == nil {
+		t.Error("EvaluatePerLevel accepted a negative weight")
+	}
+}
+
+// TestInferenceWrapperDelegates: the inference entry point is a Solve
+// wrapper too — its plan matches an explicit inference-objective
+// Request.
+func TestInferenceWrapperDelegates(t *testing.T) {
+	m := nn.AlexNet()
+	want, err := HierarchicalInference(m, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Solve(Request{
+		Model: m, Batch: 16,
+		Levels:    []Weights{UnitWeights(), UnitWeights()},
+		Objective: ObjectiveInference,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plansAgree(want, got) {
+		t.Error("HierarchicalInference diverges from the inference-objective Request")
+	}
+}

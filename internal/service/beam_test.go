@@ -1,0 +1,97 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// wideForkJSON renders an inline DAG whose partition frontier equals
+// branches: one stem fanning into parallel convs that one FC joins.
+func wideForkJSON(branches int) string {
+	var b strings.Builder
+	b.WriteString(`{"name":"svc-wide","input":{"h":8,"w":8,"c":3},"layers":[`)
+	b.WriteString(`{"name":"stem","type":"conv","k":3,"pad":1,"cout":4}`)
+	ins := make([]string, 0, branches)
+	for i := 0; i < branches; i++ {
+		name := fmt.Sprintf("b%02d", i)
+		fmt.Fprintf(&b, `,{"name":%q,"type":"conv","k":3,"pad":1,"cout":4,"inputs":["stem"]}`, name)
+		ins = append(ins, fmt.Sprintf("%q", name))
+	}
+	fmt.Fprintf(&b, `,{"name":"join","type":"fc","cout":10,"inputs":[%s]}]}`, strings.Join(ins, ","))
+	return b.String()
+}
+
+// TestBeamSearchRequest drives searchMethod through /v1/plan: the exact
+// search refuses a frontier-width-18 DAG, the same request with
+// "searchMethod":"beam" plans it.
+func TestBeamSearchRequest(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	model := wideForkJSON(18)
+
+	code, body := postJSON(t, ts.URL+"/v1/plan",
+		`{"model":`+model+`,"config":{"batch":8,"levels":2}}`)
+	if code == http.StatusOK {
+		t.Fatalf("exact search planned a width-18 frontier: %s", body)
+	}
+
+	code, body = postJSON(t, ts.URL+"/v1/plan",
+		`{"model":`+model+`,"config":{"batch":8,"levels":2,"searchMethod":"beam"}}`)
+	if code != http.StatusOK {
+		t.Fatalf("beam plan: status %d: %s", code, body)
+	}
+	var got planResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Plan.Layers) != 20 {
+		t.Fatalf("beam plan covers %d layers, want 20", len(got.Plan.Layers))
+	}
+	for _, l := range got.Plan.Layers {
+		if len(l.Assign) != 2 {
+			t.Errorf("layer %s assignment %q, want 2 levels", l.Name, l.Assign)
+		}
+	}
+
+	// An unknown method or a bad width must answer 400, not 500.
+	for _, cfg := range []string{
+		`{"searchMethod":"quantum"}`,
+		`{"searchMethod":"beam","beamWidth":-3}`,
+	} {
+		if code, body := postJSON(t, ts.URL+"/v1/plan",
+			`{"zoo":"SFC","config":`+cfg+`}`); code != http.StatusBadRequest {
+			t.Errorf("config %s: status %d, want 400: %s", cfg, code, body)
+		}
+	}
+}
+
+// TestBeamSearchHashDistinct proves the search method and beam width
+// are part of the canonical request hash: the same model under exact,
+// beam, and a non-default beam width must compute three times, while a
+// spelled-out default ("hierarchical") coalesces with the implicit one.
+func TestBeamSearchHashDistinct(t *testing.T) {
+	_, ts, computes := newTestServer(t)
+	reqs := []string{
+		`{"zoo":"Incep-2","config":{"batch":16,"levels":2}}`,
+		`{"zoo":"Incep-2","config":{"batch":16,"levels":2,"searchMethod":"beam"}}`,
+		`{"zoo":"Incep-2","config":{"batch":16,"levels":2,"searchMethod":"beam","beamWidth":4}}`,
+	}
+	for _, r := range reqs {
+		if code, body := postJSON(t, ts.URL+"/v1/evaluate", r); code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", r, code, body)
+		}
+	}
+	if got := computes.Load(); got != 3 {
+		t.Errorf("distinct search configs computed %d times, want 3", got)
+	}
+	// The default spelling canonicalizes away: no fourth compute.
+	if code, body := postJSON(t, ts.URL+"/v1/evaluate",
+		`{"zoo":"Incep-2","config":{"batch":16,"levels":2,"searchMethod":"hierarchical","beamWidth":9}}`); code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if got := computes.Load(); got != 3 {
+		t.Errorf("spelled-out default search re-computed: %d computes, want 3", got)
+	}
+}

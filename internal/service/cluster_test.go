@@ -239,7 +239,11 @@ func TestClusterBatchRoutesItems(t *testing.T) {
 // by nodes[from], so posting it there must forward to a peer.
 func forwardedBody(t *testing.T, n *clusterNode) (body, key string) {
 	t.Helper()
-	for _, zoo := range []string{"Lenet-c", "Cifar-c", "SCONV", "AlexNet", "VGG-A"} {
+	for _, zoo := range []string{
+		"Lenet-c", "Cifar-c", "SCONV", "SFC", "AlexNet",
+		"VGG-A", "VGG-B", "VGG-C", "VGG-D", "VGG-E",
+		"SRES-8", "Incep-2",
+	} {
 		body = fmt.Sprintf(`{"zoo":%q,"strategy":"hypar"}`, zoo)
 		p, err := n.srv.parseBody([]byte(body), true, false)
 		if err != nil {

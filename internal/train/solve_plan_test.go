@@ -1,0 +1,68 @@
+package train
+
+import (
+	"testing"
+
+	"repro/internal/partition"
+)
+
+// TestHierarchicalBeamPlan: a beam-searched plan drives the training
+// executor exactly like the exact search's plan. Chains dispatch the
+// beam to the exact recurrence, so on the FC test net the two requests
+// must produce the same assignment — and the executor must match
+// single-device SGD on it, proving the unified Solve entry point feeds
+// training end to end regardless of search method.
+func TestHierarchicalBeamPlan(t *testing.T) {
+	m := hierNet()
+	const batch = 8
+	ws := []partition.Weights{partition.UnitWeights(), partition.UnitWeights()}
+	exact, err := partition.Solve(partition.Request{Model: m, Batch: batch, Levels: ws})
+	if err != nil {
+		t.Fatalf("exact solve: %v", err)
+	}
+	beam, err := partition.Solve(partition.Request{
+		Model: m, Batch: batch, Levels: ws, Method: partition.MethodBeam, BeamWidth: 4,
+	})
+	if err != nil {
+		t.Fatalf("beam solve: %v", err)
+	}
+	for h := range exact.Levels {
+		for l := range exact.Levels[h] {
+			if exact.Levels[h][l] != beam.Levels[h][l] {
+				t.Fatalf("level %d layer %d: beam %v != exact %v (chains are exact at any width)",
+					h, l, beam.Levels[h][l], exact.Levels[h][l])
+			}
+		}
+	}
+
+	ref, err := NewNetwork(m, batch, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := NewNetwork(m, batch, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := NewHierarchicalFC(ref, beam)
+	if err != nil {
+		t.Fatalf("NewHierarchicalFC on beam plan: %v", err)
+	}
+	x, labels, err := SyntheticBatch(m, batch, 4, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xNHWC := &Tensor{Shape: []int{batch, 1, 1, 16}, Data: x.Data}
+	for step := 0; step < 3; step++ {
+		refLoss, err := single.TrainStep(xNHWC, labels, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hierLoss, err := hier.Step(x, labels, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := refLoss - hierLoss; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("step %d: losses diverge %g vs %g", step, refLoss, hierLoss)
+		}
+	}
+}

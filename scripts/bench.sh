@@ -22,6 +22,11 @@
 #   service.hetero.rps          heterogeneous arrays: per-level platform
 #                               assignments through the composite-fabric
 #                               evaluation path
+#   service.beam.rps            beam partition search on the branched
+#                               workloads plus a wide-fan DAG the exact
+#                               DP refuses
+#   service.sweep.rps           one-dimension bandwidth sweep: the
+#                               warm-started incremental replanning path
 #
 # Successive files are gated, not just eyeballed: `go run
 # ./scripts/benchdiff BENCH_5.json BENCH_6.json` compares them point by
@@ -58,6 +63,8 @@ service_batch_mixed="null"
 service_branched="null"
 service_degraded="null"
 service_hetero="null"
+service_beam="null"
+service_sweep="null"
 daemon_pid=""
 if [ "${SKIP_SERVICE:-0}" != "1" ]; then
 	tmpdir="$(mktemp -d)"
@@ -89,6 +96,12 @@ if [ "${SKIP_SERVICE:-0}" != "1" ]; then
 	echo "service throughput (heterogeneous per-level platforms):"
 	service_hetero="$("$tmpdir/loadgen" -addr "127.0.0.1:${port}" -mode hetero -requests 2000 -concurrency 8)"
 	echo "$service_hetero"
+	echo "service throughput (beam search on branched + wide-fan workloads):"
+	service_beam="$("$tmpdir/loadgen" -addr "127.0.0.1:${port}" -mode beam -requests 2000 -concurrency 8)"
+	echo "$service_beam"
+	echo "service throughput (warm-start bandwidth sweep):"
+	service_sweep="$("$tmpdir/loadgen" -addr "127.0.0.1:${port}" -mode sweep -requests 2000 -concurrency 8)"
+	echo "$service_sweep"
 
 	kill "$daemon_pid" 2>/dev/null || true
 	wait "$daemon_pid" 2>/dev/null || true
@@ -97,7 +110,7 @@ fi
 
 {
 	printf '{\n'
-	printf '  "schema": "bench-v7",\n'
+	printf '  "schema": "bench-v8",\n'
 	printf '  "go": "%s",\n' "$(go env GOVERSION)"
 	printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
 	printf '  "benchtime": "%s",\n' "$benchtime"
@@ -111,7 +124,9 @@ fi
 	printf '    "batch_mixed": %s,\n' "$service_batch_mixed"
 	printf '    "branched": %s,\n' "$service_branched"
 	printf '    "degraded": %s,\n' "$service_degraded"
-	printf '    "hetero": %s\n' "$service_hetero"
+	printf '    "hetero": %s,\n' "$service_hetero"
+	printf '    "beam": %s,\n' "$service_beam"
+	printf '    "sweep": %s\n' "$service_sweep"
 	printf '  }\n'
 	printf '}\n'
 } >"$out"

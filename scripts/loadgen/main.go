@@ -20,6 +20,14 @@
 //	-mode hetero   cycles zoo models × per-level platform assignments ×
 //	               batch sizes (exercises the heterogeneous-array path:
 //	               per-level weights, composite fabric, boundary charges)
+//	-mode beam     cycles the branched workloads plus an inline wide-fan
+//	               DAG under "searchMethod":"beam" (exercises the beam
+//	               partition search, including a frontier the exact DP
+//	               refuses)
+//	-mode sweep    one model, strategy hypar, cycling link bandwidths
+//	               (exercises warm-started incremental re-planning: the
+//	               pooled evaluators reuse the previous plan's DP state
+//	               across the sweep)
 //
 // Shed requests (429/503) are retried with jittered exponential
 // backoff, honoring the server's Retry-After; requests still shed after
@@ -108,6 +116,29 @@ const branchedModel = `{"name":"lg-dag","input":{"h":16,"w":16,"c":3},"layers":[
 	`{"name":"c","type":"conv","k":3,"pad":1,"cout":16,"inputs":["b1","b2"],"join":"add"},` +
 	`{"name":"f","type":"fc","cout":10}]}`
 
+// wideFanModel is an inline DAG whose 18 parallel branches put its
+// partition frontier past the exact graph DP's cap — only the beam
+// search can plan it. Kept literal like zooNames so loadgen stays
+// daemon-agnostic; built once at init.
+var wideFanModel = func() string {
+	var sb strings.Builder
+	sb.WriteString(`{"name":"lg-wide","input":{"h":8,"w":8,"c":3},"layers":[` +
+		`{"name":"stem","type":"conv","k":3,"pad":1,"cout":4}`)
+	var ins []string
+	for i := 0; i < 18; i++ {
+		name := fmt.Sprintf("b%02d", i)
+		fmt.Fprintf(&sb, `,{"name":%q,"type":"conv","k":3,"pad":1,"cout":4,"inputs":["stem"]}`, name)
+		ins = append(ins, fmt.Sprintf("%q", name))
+	}
+	fmt.Fprintf(&sb, `,{"name":"join","type":"fc","cout":10,"inputs":[%s]}]}`, strings.Join(ins, ","))
+	return sb.String()
+}()
+
+// sweepLinks are the link bandwidths (Mb/s) the sweep mode cycles: a
+// one-dimension sweep whose partition inputs never change, so a
+// warm-starting daemon replans every point with zero new DP cells.
+var sweepLinks = []float64{800, 1600, 3200, 6400}
+
 // heteroSpecs are mixed per-level platform assignments (sparse specs —
 // unnamed levels inherit the daemon's base platform), kept literal like
 // zooNames so loadgen stays daemon-agnostic.
@@ -139,6 +170,20 @@ func body(mode string, i int) string {
 			return fmt.Sprintf(`{"model":%s,"strategy":%q,"config":{"batch":%d}}`, branchedModel, strat, batch)
 		}
 		return fmt.Sprintf(`{"zoo":%q,"strategy":%q,"config":{"batch":%d}}`, name, strat, batch)
+	case "beam":
+		// The branched zoo names plus the wide-fan model the exact DP
+		// refuses, all under the beam search.
+		name := branchedNames[i%len(branchedNames)]
+		batch := 64 << uint((i/len(branchedNames))%3) // 64, 128, 256
+		if name == "" {
+			return fmt.Sprintf(`{"model":%s,"strategy":"hypar","config":{"batch":%d,"levels":2,"searchMethod":"beam"}}`, wideFanModel, batch)
+		}
+		return fmt.Sprintf(`{"zoo":%q,"strategy":"hypar","config":{"batch":%d,"searchMethod":"beam"}}`, name, batch)
+	case "sweep":
+		// One model, one strategy, one dimension moving: the
+		// warm-start-friendly traffic shape of an incremental sweep.
+		link := sweepLinks[i%len(sweepLinks)]
+		return fmt.Sprintf(`{"zoo":"VGG-A","strategy":"hypar","config":{"linkMbps":%g}}`, link)
 	}
 	name := zooNames[i%len(zooNames)]
 	strat := strategies[(i/len(zooNames))%len(strategies)]
@@ -169,7 +214,7 @@ func main() {
 		n       = flag.Int("requests", 200, "total requests")
 		batch   = flag.Int("batch", 0, "items per request through /v1/batch (0 = single requests)")
 		conc    = flag.Int("concurrency", 8, "concurrent clients")
-		mode    = flag.String("mode", "hot", "hot | mixed | branched | degraded | hetero")
+		mode    = flag.String("mode", "hot", "hot | mixed | branched | degraded | hetero | beam | sweep")
 		warm    = flag.Int("warm", 0, "untimed warmup requests before measuring (replays the run's first bodies so hot runs record steady-state cache throughput, not the first compute)")
 		wait    = flag.Duration("wait", 15*time.Second, "wait for /healthz before starting")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout")
